@@ -1,0 +1,334 @@
+// Package asmsim is a from-scratch Go reproduction of "The Application
+// Slowdown Model: Quantifying and Controlling the Impact of
+// Inter-Application Interference at Shared Caches and Main Memory"
+// (Subramanian, Seshadri, Ghosh, Khan, Mutlu — MICRO 2015).
+//
+// The package bundles:
+//
+//   - a cycle-level multi-core memory-system simulator (out-of-order-like
+//     cores, private L1s, shared L2 with auxiliary tag stores, DDR3 main
+//     memory behind FR-FCFS/PARBS/TCM scheduling);
+//   - the Application Slowdown Model (ASM) and the prior-work baselines it
+//     is evaluated against (FST, PTCA, MISE, STFM);
+//   - the slowdown-aware resource management schemes built on ASM
+//     (ASM-Cache, ASM-Mem, ASM-Cache-Mem, ASM-QoS) and their baselines
+//     (UCP, MCFQ);
+//   - synthetic SPEC CPU2006 / NAS / TPC-C / YCSB workload generators;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation (see Experiments and cmd/experiments).
+//
+// Quick start:
+//
+//	res, err := asmsim.Run(asmsim.DefaultConfig(),
+//	    []string{"mcf", "libquantum", "bzip2", "h264ref"},
+//	    asmsim.RunOptions{WarmupQuanta: 1, Quanta: 3, GroundTruth: true})
+//	for i, name := range res.Names {
+//	    fmt.Printf("%s: estimated %.2fx, actual %.2fx\n",
+//	        name, res.EstimatedSlowdown[i], res.ActualSlowdown[i])
+//	}
+package asmsim
+
+import (
+	"fmt"
+
+	"asmsim/internal/cluster"
+	"asmsim/internal/core"
+	"asmsim/internal/exp"
+	"asmsim/internal/metrics"
+	"asmsim/internal/model"
+	"asmsim/internal/partition"
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// Re-exported system types. The aliases make the internal implementation
+// nameable by importers of this package.
+type (
+	// Config describes a simulated system (Table 2 of the paper).
+	Config = sim.Config
+	// System is one running simulated machine.
+	System = sim.System
+	// QuantumStats is the per-quantum counter snapshot models consume.
+	QuantumStats = sim.QuantumStats
+	// AppSpec parameterizes one synthetic application.
+	AppSpec = workload.Spec
+	// Mix is a multiprogrammed workload (one benchmark name per core).
+	Mix = workload.Mix
+	// Estimator is a slowdown model: quantum counters in, per-app
+	// slowdown estimates out.
+	Estimator = core.Estimator
+	// Partitioner is a shared-cache way-allocation policy.
+	Partitioner = partition.Partitioner
+	// Experiment is one regenerable paper table/figure.
+	Experiment = exp.Experiment
+	// ExperimentScale sets experiment sizes (Quick vs Full).
+	ExperimentScale = exp.Scale
+	// ASM is the paper's Application Slowdown Model.
+	ASM = core.ASM
+)
+
+// Memory scheduling policies.
+const (
+	PolicyFRFCFS = sim.PolicyFRFCFS
+	PolicyPARBS  = sim.PolicyPARBS
+	PolicyTCM    = sim.PolicyTCM
+)
+
+// DefaultConfig returns the paper's main evaluation system: 4 cores, 2 MB
+// shared 16-way L2, one DDR3-1333 channel, Q = 5M cycles, E = 10K cycles.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewSystem builds a simulated machine running one spec per core.
+func NewSystem(cfg Config, specs []AppSpec) (*System, error) { return sim.New(cfg, specs) }
+
+// Benchmarks returns every named synthetic benchmark (SPEC + NAS + DB).
+func Benchmarks() []AppSpec { return workload.All() }
+
+// BenchmarkByName resolves a benchmark (or "hogN") name.
+func BenchmarkByName(name string) (AppSpec, bool) { return workload.ByName(name) }
+
+// RandomMixes builds n-core random workload mixes as in Section 5.
+func RandomMixes(n, count int, seed uint64) []Mix {
+	pool := workload.SPEC()
+	pool = append(pool, workload.NAS()...)
+	return workload.RandomMixes(pool, n, count, seed)
+}
+
+// NewASM returns the paper's model (Sections 3-4).
+func NewASM() *ASM { return core.NewASM() }
+
+// NewFST returns the Fairness-via-Source-Throttling baseline model.
+func NewFST() Estimator { return model.NewFST() }
+
+// NewPTCA returns the Per-Thread Cycle Accounting baseline model.
+func NewPTCA() Estimator { return model.NewPTCA() }
+
+// NewMISE returns the memory-only MISE baseline model.
+func NewMISE() Estimator { return model.NewMISE() }
+
+// NewUCP returns the utility-based cache partitioning baseline.
+func NewUCP() Partitioner { return partition.NewUCP() }
+
+// NewMCFQ returns the MLP/cache-friendliness-aware partitioning baseline.
+func NewMCFQ() Partitioner { return partition.NewMCFQ() }
+
+// NewASMCache returns the slowdown-aware cache partitioner (Section 7.1).
+func NewASMCache() Partitioner { return partition.NewASMCache(nil) }
+
+// NewASMQoS returns the soft-slowdown-guarantee partitioner (Section 7.3).
+func NewASMQoS(targetApp int, bound float64) Partitioner {
+	return partition.NewASMQoS(targetApp, bound)
+}
+
+// AttachPartitioner applies a cache partitioning policy to a system at
+// every quantum boundary.
+func AttachPartitioner(s *System, p Partitioner) {
+	s.AddQuantumListener(partition.Listener(p))
+}
+
+// AttachASMMem applies slowdown-proportional memory bandwidth
+// partitioning (Section 7.2) to a system.
+func AttachASMMem(s *System) {
+	s.AddQuantumListener(partition.NewASMMem(nil).Listener())
+}
+
+// Experiments returns the registry of regenerable paper artifacts.
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment (fig2, tab3, ...).
+func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
+
+// QuickScale returns the minutes-scale experiment configuration.
+func QuickScale() ExperimentScale { return exp.Quick() }
+
+// FullScale returns the paper-scale experiment configuration.
+func FullScale() ExperimentScale { return exp.Full() }
+
+// RunOptions controls Run.
+type RunOptions struct {
+	// WarmupQuanta are simulated but excluded from the reported averages.
+	WarmupQuanta int
+	// Quanta is the number of measured quanta (default 3).
+	Quanta int
+	// GroundTruth additionally runs each app alone to measure actual
+	// slowdowns (roughly doubles the runtime).
+	GroundTruth bool
+	// Estimators to evaluate; nil selects ASM only.
+	Estimators []Estimator
+	// Attach, when non-nil, is called with the system before the run
+	// starts — use it to install partitioning or bandwidth policies.
+	Attach func(*System)
+}
+
+// RunResult reports per-app outcomes of a Run.
+type RunResult struct {
+	// Names are the benchmark names, one per core.
+	Names []string
+	// IPC is each app's measured instructions per cycle (shared run).
+	IPC []float64
+	// EstimatedSlowdown is the first estimator's mean estimate over
+	// measured quanta; Estimates holds every estimator's by name.
+	EstimatedSlowdown []float64
+	Estimates         map[string][]float64
+	// ActualSlowdown is ground truth (nil unless requested).
+	ActualSlowdown []float64
+	// MaxSlowdown and HarmonicSpeedup are computed from actual slowdowns
+	// when available, else from the first estimator's estimates.
+	MaxSlowdown     float64
+	HarmonicSpeedup float64
+}
+
+// Run simulates one workload mix under cfg and reports slowdowns. It is
+// the package's convenience entry point; use NewSystem directly for
+// custom instrumentation.
+func Run(cfg Config, names []string, opt RunOptions) (*RunResult, error) {
+	if opt.Quanta <= 0 {
+		opt.Quanta = 3
+	}
+	ests := opt.Estimators
+	if len(ests) == 0 {
+		ests = []Estimator{core.NewASM()}
+	}
+	mix := Mix{Names: names}
+	specs := make([]AppSpec, len(names))
+	for i, n := range names {
+		s, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("asmsim: unknown benchmark %q", n)
+		}
+		specs[i] = s
+	}
+	cfg.Cores = len(specs)
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Attach != nil {
+		opt.Attach(sys)
+	}
+	var tracker *sim.SlowdownTracker
+	if opt.GroundTruth {
+		tracker, err = sim.NewSlowdownTracker(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(specs)
+	res := &RunResult{
+		Names:     mix.Names,
+		IPC:       make([]float64, n),
+		Estimates: map[string][]float64{},
+	}
+	for _, e := range ests {
+		res.Estimates[e.Name()] = make([]float64, n)
+	}
+	actualSum := make([]float64, n)
+	measured := 0
+	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
+		var actual []float64
+		if tracker != nil {
+			actual = tracker.ActualSlowdowns(st)
+		}
+		perEst := make(map[string][]float64, len(ests))
+		for _, e := range ests {
+			perEst[e.Name()] = e.Estimate(st)
+		}
+		if st.Quantum < opt.WarmupQuanta {
+			return
+		}
+		measured++
+		for a := 0; a < n; a++ {
+			res.IPC[a] += st.IPC(a)
+			for name, v := range perEst {
+				res.Estimates[name][a] += v[a]
+			}
+			if actual != nil {
+				actualSum[a] += actual[a]
+			}
+		}
+	})
+	sys.RunQuanta(opt.WarmupQuanta + opt.Quanta)
+	if measured == 0 {
+		return nil, fmt.Errorf("asmsim: no measured quanta")
+	}
+	for a := 0; a < n; a++ {
+		res.IPC[a] /= float64(measured)
+		for name := range res.Estimates {
+			res.Estimates[name][a] /= float64(measured)
+		}
+	}
+	res.EstimatedSlowdown = res.Estimates[ests[0].Name()]
+	if tracker != nil {
+		res.ActualSlowdown = make([]float64, n)
+		for a := range actualSum {
+			res.ActualSlowdown[a] = actualSum[a] / float64(measured)
+		}
+		res.MaxSlowdown = metrics.MaxSlowdown(res.ActualSlowdown)
+		res.HarmonicSpeedup = metrics.HarmonicSpeedup(res.ActualSlowdown)
+	} else {
+		res.MaxSlowdown = metrics.MaxSlowdown(res.EstimatedSlowdown)
+		res.HarmonicSpeedup = metrics.HarmonicSpeedup(res.EstimatedSlowdown)
+	}
+	return res, nil
+}
+
+// ClusterConfig configures the Section 7.5 migration/admission-control
+// use case.
+type ClusterConfig = cluster.Config
+
+// ClusterMachine is one machine's jobs and latest slowdown estimates.
+type ClusterMachine = cluster.Machine
+
+// ClusterMigration records one balancer decision.
+type ClusterMigration = cluster.Migration
+
+// Cluster wraps the slowdown-aware cluster balancer (Section 7.5).
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds a cluster with the given job placement (one job list
+// per machine).
+func NewCluster(cfg ClusterConfig, placement [][]string) (*Cluster, error) {
+	inner, err := cluster.New(cfg, placement)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// EvaluateRound simulates every machine and refreshes ASM estimates.
+func (c *Cluster) EvaluateRound() error { return c.inner.EvaluateRound() }
+
+// Machines returns every machine's current state.
+func (c *Cluster) Machines() []ClusterMachine { return c.inner.Machines() }
+
+// Rebalance performs one slowdown-aware job swap if the cluster is
+// imbalanced beyond tolerance.
+func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
+	return c.inner.Rebalance(tolerance)
+}
+
+// CanAdmit reports whether a machine can take new work under an SLA
+// slowdown bound.
+func (c *Cluster) CanAdmit(machine int, slaBound float64) (bool, error) {
+	return c.inner.CanAdmit(machine, slaBound)
+}
+
+// WorstSlowdown returns the highest estimated slowdown in the cluster.
+func (c *Cluster) WorstSlowdown() float64 { return c.inner.WorstSlowdown() }
+
+// Migrations returns the balancer's decisions so far.
+func (c *Cluster) Migrations() []ClusterMigration { return c.inner.Migrations }
+
+// FairBill implements the Section 7.4 cloud-billing use case: given a
+// job's wall-clock time on a shared machine and its estimated slowdown,
+// it returns the time the user should be billed for — the time the job
+// would have taken alone.
+func FairBill(wallTime float64, slowdown float64) float64 {
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	return wallTime / slowdown
+}

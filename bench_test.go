@@ -1,0 +1,155 @@
+package asmsim
+
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation, each regenerating the corresponding artifact through the
+// experiment registry at a reduced ("bench") scale and logging the result
+// table. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale sweeps are available via `go run ./cmd/experiments -run
+// <id> -full`. The bench scale trades workload count and quantum length
+// for runtime; the code paths are identical, and the *shape* of each
+// result (who wins, by roughly what factor) is preserved.
+
+import (
+	"testing"
+
+	"asmsim/internal/exp"
+)
+
+// benchScale is smaller than exp.Quick so the whole suite finishes in
+// minutes on one core.
+func benchScale() exp.Scale {
+	return exp.Scale{
+		Workloads:      3,
+		WarmupQuanta:   1,
+		MeasuredQuanta: 2,
+		Quantum:        1_000_000,
+		Epoch:          10_000,
+		Seed:           42,
+	}
+}
+
+// benchRun regenerates one experiment per iteration and logs the table
+// once.
+func benchRun(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+// BenchmarkFig1CARCorrelation regenerates Figure 1: shared-cache access
+// rate as a proxy for performance (app + hog sweeps, Pearson correlation).
+func BenchmarkFig1CARCorrelation(b *testing.B) { benchRun(b, "fig1") }
+
+// BenchmarkFig2ErrorUnsampled regenerates Figure 2: per-benchmark
+// slowdown estimation error with unsampled structures (paper: FST 18.5%,
+// PTCA 14.7%, ASM 9.0%).
+func BenchmarkFig2ErrorUnsampled(b *testing.B) { benchRun(b, "fig2") }
+
+// BenchmarkFig3ErrorSampled regenerates Figure 3: error with a 64-set
+// sampled ATS (paper: FST 29.4%, PTCA 40.4%, ASM 9.9%).
+func BenchmarkFig3ErrorSampled(b *testing.B) { benchRun(b, "fig3") }
+
+// BenchmarkFig4ErrorDistribution regenerates Figure 4: the error CDF
+// (paper: 95.25% of ASM estimates within 20%, max error 36%).
+func BenchmarkFig4ErrorDistribution(b *testing.B) { benchRun(b, "fig4") }
+
+// BenchmarkFig5Prefetching regenerates Figure 5: error with a stride
+// prefetcher (paper: FST 20%, PTCA 15%, ASM 7.5%).
+func BenchmarkFig5Prefetching(b *testing.B) { benchRun(b, "fig5") }
+
+// BenchmarkFig6LatencyDistribution regenerates Figure 6: alone
+// miss-service-time distributions, actual vs estimated, +/- sampling.
+func BenchmarkFig6LatencyDistribution(b *testing.B) { benchRun(b, "fig6") }
+
+// BenchmarkDatabaseAccuracy regenerates the Section 6 database-workload
+// accuracy result (paper: FST 27%, PTCA 12%, ASM 4%).
+func BenchmarkDatabaseAccuracy(b *testing.B) { benchRun(b, "dbacc") }
+
+// BenchmarkFig7CoreCount regenerates Figure 7: error vs core count.
+func BenchmarkFig7CoreCount(b *testing.B) { benchRun(b, "fig7") }
+
+// BenchmarkFig8CacheSize regenerates Figure 8: error vs cache capacity.
+func BenchmarkFig8CacheSize(b *testing.B) { benchRun(b, "fig8") }
+
+// BenchmarkTable3QuantumEpoch regenerates Table 3: ASM error vs quantum
+// and epoch lengths.
+func BenchmarkTable3QuantumEpoch(b *testing.B) { benchRun(b, "tab3") }
+
+// BenchmarkMISEComparison regenerates the Section 6.4 result: memory-only
+// epoch aggregation (MISE, paper 22%) vs ASM (paper 9.9%).
+func BenchmarkMISEComparison(b *testing.B) { benchRun(b, "mise") }
+
+// BenchmarkFig9ASMCache regenerates Figure 9: slowdown-aware cache
+// partitioning vs NoPart/UCP/MCFQ across core counts.
+func BenchmarkFig9ASMCache(b *testing.B) { benchRun(b, "fig9") }
+
+// BenchmarkFig10ASMMem regenerates Figure 10: slowdown-aware bandwidth
+// partitioning vs FRFCFS/PARBS/TCM across core counts.
+func BenchmarkFig10ASMMem(b *testing.B) { benchRun(b, "fig10") }
+
+// BenchmarkASMCacheMem regenerates the Section 7.2.2 coordinated scheme
+// result vs PARBS+UCP on 16 cores.
+func BenchmarkASMCacheMem(b *testing.B) { benchRun(b, "cachemem") }
+
+// BenchmarkFig11ASMQoS regenerates Figure 11: soft slowdown guarantees
+// for h264ref.
+func BenchmarkFig11ASMQoS(b *testing.B) { benchRun(b, "fig11") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationEpochAssignment compares probabilistic vs round-robin
+// epoch assignment (Section 4.2).
+func BenchmarkAblationEpochAssignment(b *testing.B) { benchRun(b, "abl-epoch") }
+
+// BenchmarkAblationQueueingCorrection toggles the Section 4.3 queueing
+// term.
+func BenchmarkAblationQueueingCorrection(b *testing.B) { benchRun(b, "abl-queueing") }
+
+// BenchmarkAblationATSBudget sweeps the auxiliary-tag-store sampling
+// budget (Section 4.4).
+func BenchmarkAblationATSBudget(b *testing.B) { benchRun(b, "abl-ats") }
+
+// BenchmarkAblationCARn validates CAR_n predictions against enforced
+// allocations (Section 7.1).
+func BenchmarkAblationCARn(b *testing.B) { benchRun(b, "abl-carn") }
+
+// BenchmarkAblationModels compares all five estimators on one run
+// (per-request vs aggregate x memory-only vs memory+cache).
+func BenchmarkAblationModels(b *testing.B) { benchRun(b, "abl-models") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles per
+// second) for the default 4-core system — the substrate cost every
+// experiment above pays.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Quantum = 100_000
+	specs := make([]AppSpec, 0, 4)
+	for _, n := range []string{"mcf", "libquantum", "bzip2", "h264ref"} {
+		s, _ := BenchmarkByName(n)
+		specs = append(specs, s)
+	}
+	sys, err := NewSystem(cfg, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RunQuanta(1)
+	}
+	b.ReportMetric(float64(cfg.Quantum), "cycles/op")
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig2            # quick scale (minutes)
+//	experiments -run fig2 -full      # paper scale (hours)
+//	experiments -run all -quick
+//	experiments -run tab3 -workloads 10 -quanta 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"asmsim/internal/exp"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available experiments")
+		run       = flag.String("run", "", "experiment id to run, or 'all'")
+		full      = flag.Bool("full", false, "paper-scale sweep (hours)")
+		workloads = flag.Int("workloads", 0, "override workload count")
+		quanta    = flag.Int("quanta", 0, "override measured quanta")
+		seed      = flag.Uint64("seed", 0, "override random seed")
+		format    = flag.String("format", "text", "output format: text, csv, json")
+		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.<format>")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.All() {
+			ref := e.Paper
+			if ref == "" {
+				ref = "ablation"
+			}
+			fmt.Printf("  %-12s %-12s %s\n", e.ID, ref, e.Title)
+		}
+		return
+	}
+
+	sc := exp.Quick()
+	if *full {
+		sc = exp.Full()
+	}
+	if *workloads > 0 {
+		sc.Workloads = *workloads
+	}
+	if *quanta > 0 {
+		sc.MeasuredQuanta = *quanta
+	}
+	if *seed > 0 {
+		sc.Seed = *seed
+	}
+
+	var exps []exp.Experiment
+	if *run == "all" {
+		exps = exp.All()
+	} else {
+		e, err := exp.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []exp.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		render := func(f string) (string, error) {
+			switch f {
+			case "csv":
+				return table.CSV(), nil
+			case "json":
+				return table.JSON()
+			default:
+				return table.String(), nil
+			}
+		}
+		out, err := render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *format == "text" {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			ext := *format
+			if ext == "text" {
+				ext = "txt"
+			}
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, e.ID+"."+ext)
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

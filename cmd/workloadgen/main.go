@@ -1,0 +1,72 @@
+// Command workloadgen emits random multiprogrammed workload mixes in the
+// style of the paper's Section 5 methodology ("We construct workloads with
+// varying memory intensity, randomly choosing applications for each
+// workload"). Its output feeds cmd/asmsim -apps.
+//
+// Usage:
+//
+//	workloadgen -cores 4 -count 100 -seed 42
+//	workloadgen -cores 16 -count 10 -class high
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asmsim/internal/workload"
+)
+
+func main() {
+	var (
+		cores = flag.Int("cores", 4, "applications per workload")
+		count = flag.Int("count", 10, "number of workloads")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		class = flag.String("class", "mixed", "intensity: mixed, low, medium, high")
+		suite = flag.String("suite", "all", "benchmark pool: all, spec, nas, db")
+	)
+	flag.Parse()
+
+	var pool []workload.Spec
+	switch *suite {
+	case "all":
+		pool = append(workload.SPEC(), workload.NAS()...)
+	case "spec":
+		pool = workload.SPEC()
+	case "nas":
+		pool = workload.NAS()
+	case "db":
+		pool = workload.DB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+
+	var mixes []workload.Mix
+	switch *class {
+	case "mixed":
+		mixes = workload.RandomMixes(pool, *cores, *count, *seed)
+	case "low", "medium", "high":
+		c := map[string]workload.IntensityClass{
+			"low": workload.LowIntensity, "medium": workload.MediumIntensity, "high": workload.HighIntensity,
+		}[*class]
+		classes := make([]workload.IntensityClass, *cores)
+		for i := range classes {
+			classes[i] = c
+		}
+		mixes = workload.ClassMixes(pool, classes, *count, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown class %q\n", *class)
+		os.Exit(1)
+	}
+
+	for _, m := range mixes {
+		for i, n := range m.Names {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Print(n)
+		}
+		fmt.Println()
+	}
+}

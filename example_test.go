@@ -1,0 +1,67 @@
+package asmsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"asmsim"
+)
+
+// ExampleRun shows the package's convenience entry point: simulate a
+// contended 2-core mix and read ASM's slowdown estimates. Output is
+// deterministic for a fixed configuration and seed.
+func ExampleRun() {
+	cfg := asmsim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Quantum = 200_000 // short quanta keep the example fast
+
+	res, err := asmsim.Run(cfg, []string{"bzip2", "libquantum"},
+		asmsim.RunOptions{Quanta: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range res.Names {
+		fmt.Println(name)
+	}
+	// Output:
+	// bzip2
+	// libquantum
+}
+
+// ExampleFairBill demonstrates the Section 7.4 billing rule: a tenant
+// whose job was slowed 3x by co-located tenants pays for the hour it
+// would have taken alone, not the three hours it took.
+func ExampleFairBill() {
+	fmt.Printf("%.0f hour(s)\n", asmsim.FairBill(3, 3.0))
+	// Output: 1 hour(s)
+}
+
+// ExampleNewASM wires the model against a custom-instrumented system for
+// callers that need more than Run provides.
+func ExampleNewASM() {
+	cfg := asmsim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Quantum = 200_000
+
+	specs := make([]asmsim.AppSpec, 0, 2)
+	for _, n := range []string{"mcf", "h264ref"} {
+		s, ok := asmsim.BenchmarkByName(n)
+		if !ok {
+			log.Fatal(n)
+		}
+		specs = append(specs, s)
+	}
+	sys, err := asmsim.NewSystem(cfg, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	asm := asmsim.NewASM()
+	sys.AddQuantumListener(func(_ *asmsim.System, st *asmsim.QuantumStats) {
+		est := asm.Estimate(st)
+		fmt.Printf("quantum %d: %d estimates\n", st.Quantum, len(est))
+	})
+	sys.RunQuanta(2)
+	// Output:
+	// quantum 0: 2 estimates
+	// quantum 1: 2 estimates
+}

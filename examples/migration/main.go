@@ -1,0 +1,75 @@
+// Migration example (paper Section 7.5): a small cluster consolidates
+// jobs onto machines; ASM's slowdown estimates tell the balancer *how
+// much* interference is hurting each job — a direct signal, where prior
+// systems used proxies like miss counts. The balancer swaps the
+// most-slowed job on the worst machine with the least-slowed job on the
+// best one, and admission control refuses machines whose tenants already
+// exceed the SLA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asmsim"
+)
+
+func main() {
+	sys := asmsim.DefaultConfig()
+	sys.Quantum = 500_000
+	sys.ATSSampledSets = 64
+	sys.Cores = 2
+
+	cl, err := asmsim.NewCluster(asmsim.ClusterConfig{
+		Machines:    2,
+		System:      sys,
+		RoundQuanta: 2,
+	}, [][]string{
+		{"mcf", "libquantum"}, // machine 0: two memory hogs fighting
+		{"h264ref", "namd"},   // machine 1: two light jobs coasting
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(tag string) {
+		fmt.Printf("%s: worst slowdown %.2fx\n", tag, cl.WorstSlowdown())
+		for i, m := range cl.Machines() {
+			fmt.Printf("  machine %d:", i)
+			for j, job := range m.Jobs {
+				fmt.Printf("  %s=%.2fx", job, m.Slowdowns[j])
+			}
+			fmt.Println()
+		}
+	}
+
+	if err := cl.EvaluateRound(); err != nil {
+		log.Fatal(err)
+	}
+	show("before migration")
+
+	const sla = 1.8
+	for i := range cl.Machines() {
+		ok, err := cl.CanAdmit(i, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("admission on machine %d under %.1fx SLA: %v\n", i, sla, ok)
+	}
+
+	moved, err := cl.Rebalance(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !moved {
+		fmt.Println("cluster already balanced")
+		return
+	}
+	mv := cl.Migrations()[0]
+	fmt.Printf("\nmigrating %s (machine %d) <-> %s (machine %d)\n\n", mv.Job, mv.From, mv.Swapped, mv.To)
+
+	if err := cl.EvaluateRound(); err != nil {
+		log.Fatal(err)
+	}
+	show("after migration")
+}

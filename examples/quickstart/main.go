@@ -1,0 +1,35 @@
+// Quickstart: simulate the paper's headline scenario — four SPEC-like
+// applications sharing a 2 MB cache and one DDR3 channel — and compare
+// ASM's online slowdown estimates against the measured ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asmsim"
+)
+
+func main() {
+	cfg := asmsim.DefaultConfig()
+	cfg.Quantum = 1_000_000 // 1M-cycle quanta keep this example snappy
+
+	res, err := asmsim.Run(cfg,
+		[]string{"mcf", "libquantum", "bzip2", "h264ref"},
+		asmsim.RunOptions{
+			WarmupQuanta: 1,
+			Quanta:       3,
+			GroundTruth:  true, // also run each app alone for actual slowdowns
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("app          IPC    ASM estimate   actual slowdown")
+	for i, name := range res.Names {
+		fmt.Printf("%-12s %.3f  %10.2fx  %14.2fx\n",
+			name, res.IPC[i], res.EstimatedSlowdown[i], res.ActualSlowdown[i])
+	}
+	fmt.Printf("\nunfairness (max slowdown): %.2f\n", res.MaxSlowdown)
+	fmt.Printf("harmonic speedup:          %.3f\n", res.HarmonicSpeedup)
+}

@@ -1,0 +1,3 @@
+module asmsim
+
+go 1.22

@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asmsim/internal/rng"
+)
+
+// TestATSMirrorsDedicatedCache is the central property of the auxiliary
+// tag store: for any access stream, an unsampled ATS must report exactly
+// the hits a dedicated LRU cache of the same geometry would produce — the
+// ATS is by definition "the state of the cache had the application been
+// running alone" (Section 3.2).
+func TestATSMirrorsDedicatedCache(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		ats := NewAuxTagStore(16, 4, 0)
+		c := New(16, 4, 1)
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			line := r.Uint64n(256)
+			sampled, atsHit, _ := ats.Access(line)
+			if !sampled {
+				return false // unsampled ATS covers every set
+			}
+			cacheHit := c.Lookup(0, line, false)
+			if !cacheHit {
+				c.Insert(0, line, false)
+			}
+			if atsHit != cacheHit {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestATSStackPositions checks the LRU-stack property: a hit at stack
+// position p would be a hit in any cache with more than p ways, so
+// HitFractionAtWays must be non-decreasing and reach HitFraction at full
+// associativity.
+func TestATSStackPositions(t *testing.T) {
+	ats := NewAuxTagStore(8, 8, 0)
+	r := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		ats.Access(r.Uint64n(128))
+	}
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		f := ats.HitFractionAtWays(n)
+		if f < prev {
+			t.Fatalf("hit fraction decreased at %d ways: %v < %v", n, f, prev)
+		}
+		prev = f
+	}
+	if prev != ats.HitFraction() {
+		t.Fatalf("full-ways fraction %v != overall %v", prev, ats.HitFraction())
+	}
+}
+
+// TestATSStackPositionMeaning verifies the stack-position semantics with
+// a hand-built sequence: accessing A, B, A makes the second A a hit at
+// position 1 (B is MRU at that point).
+func TestATSStackPositionMeaning(t *testing.T) {
+	ats := NewAuxTagStore(1, 4, 0)
+	ats.Access(0) // miss
+	ats.Access(1) // miss
+	_, hit, pos := ats.Access(0)
+	if !hit || pos != 1 {
+		t.Fatalf("hit=%v pos=%d, want hit at position 1", hit, pos)
+	}
+	// Position-1 hits need at least 2 ways.
+	if ats.HitFractionAtWays(1) != 0 {
+		t.Fatal("1-way cache would have missed")
+	}
+	if ats.HitFractionAtWays(2) == 0 {
+		t.Fatal("2-way cache would have hit")
+	}
+}
+
+func TestATSSampling(t *testing.T) {
+	ats := NewAuxTagStore(16, 4, 4) // every 4th set
+	if !ats.Sampled() || ats.SampledSets() != 4 {
+		t.Fatal("sampling misconfigured")
+	}
+	sampledSeen, unsampledSeen := false, false
+	for set := uint64(0); set < 16; set++ {
+		sampled, _, _ := ats.Access(set)
+		if set%4 == 0 {
+			if !sampled {
+				t.Fatalf("set %d should be sampled", set)
+			}
+			sampledSeen = true
+		} else {
+			if sampled {
+				t.Fatalf("set %d should not be sampled", set)
+			}
+			unsampledSeen = true
+		}
+	}
+	if !sampledSeen || !unsampledSeen {
+		t.Fatal("test did not exercise both kinds of sets")
+	}
+	if ats.Probes() != 4 {
+		t.Fatalf("probes %d, want 4", ats.Probes())
+	}
+}
+
+// TestATSSampledFractionApproximatesFull: the Section 4.4 premise — the
+// sampled hit fraction tracks the full-ATS hit fraction for a homogeneous
+// access stream.
+func TestATSSampledFractionApproximatesFull(t *testing.T) {
+	full := NewAuxTagStore(256, 4, 0)
+	sampled := NewAuxTagStore(256, 4, 32)
+	r := rng.New(11)
+	for i := 0; i < 200000; i++ {
+		line := r.Uint64n(2048)
+		full.Access(line)
+		sampled.Access(line)
+	}
+	f, s := full.HitFraction(), sampled.HitFraction()
+	if diff := f - s; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("sampled fraction %v deviates from full %v", s, f)
+	}
+}
+
+func TestATSResetStatsKeepsDirectory(t *testing.T) {
+	ats := NewAuxTagStore(4, 2, 0)
+	ats.Access(0)
+	ats.ResetStats()
+	if ats.Probes() != 0 || ats.Hits() != 0 {
+		t.Fatal("stats not cleared")
+	}
+	_, hit, _ := ats.Access(0)
+	if !hit {
+		t.Fatal("directory must stay warm across ResetStats")
+	}
+}
+
+func TestATSMissFraction(t *testing.T) {
+	ats := NewAuxTagStore(4, 2, 0)
+	ats.Access(0)
+	ats.Access(0)
+	if ats.HitFraction() != 0.5 || ats.MissFraction() != 0.5 {
+		t.Fatalf("fractions %v/%v", ats.HitFraction(), ats.MissFraction())
+	}
+}
+
+func TestATSBadSamplingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing sampledSets must panic")
+		}
+	}()
+	NewAuxTagStore(16, 4, 3)
+}
+
+func TestATSPositionHitsCopy(t *testing.T) {
+	ats := NewAuxTagStore(4, 2, 0)
+	ats.Access(0)
+	ats.Access(0)
+	p := ats.PositionHits()
+	p[0] = 999
+	if ats.PositionHits()[0] == 999 {
+		t.Fatal("PositionHits must return a copy")
+	}
+}

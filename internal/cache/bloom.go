@@ -1,0 +1,96 @@
+package cache
+
+// PollutionFilter is the Bloom-filter structure FST uses to identify
+// contention misses: whenever another application evicts one of this
+// application's shared-cache lines, the line address is added to the
+// filter; a later cache miss that hits in the filter is classified as a
+// contention miss (Ebrahimi et al., ASPLOS 2010).
+//
+// The filter is intentionally approximate — the paper's Section 6 studies
+// how shrinking it (to match a sampled ATS budget) degrades FST's accuracy.
+// Smaller filters raise the false-positive rate, which is exactly the
+// effect the experiments need to reproduce.
+type PollutionFilter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	adds   uint64
+}
+
+// NewPollutionFilter returns a filter with the given number of bits
+// (rounded up to a multiple of 64) and hash functions. bits must be
+// positive; hashes is clamped to [1, 8].
+func NewPollutionFilter(bits int, hashes int) *PollutionFilter {
+	if bits <= 0 {
+		panic("cache: pollution filter needs positive size")
+	}
+	if hashes < 1 {
+		hashes = 1
+	}
+	if hashes > 8 {
+		hashes = 8
+	}
+	words := (bits + 63) / 64
+	return &PollutionFilter{
+		bits:   make([]uint64, words),
+		nbits:  uint64(words * 64),
+		hashes: hashes,
+	}
+}
+
+// Bits returns the filter capacity in bits.
+func (f *PollutionFilter) Bits() int { return int(f.nbits) }
+
+// hash derives the i-th bit index for addr using two mixing rounds
+// (Kirsch-Mitzenmacher double hashing).
+func (f *PollutionFilter) hash(addr uint64, i int) uint64 {
+	h1 := addr * 0x9E3779B97F4A7C15
+	h1 ^= h1 >> 32
+	h2 := addr*0xC2B2AE3D27D4EB4F + 0x165667B19E3779F9
+	h2 ^= h2 >> 29
+	return (h1 + uint64(i)*h2) % f.nbits
+}
+
+// Add records an evicted line address.
+func (f *PollutionFilter) Add(lineAddr uint64) {
+	f.adds++
+	for i := 0; i < f.hashes; i++ {
+		b := f.hash(lineAddr, i)
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+}
+
+// Test reports whether lineAddr may have been added (Bloom semantics:
+// false positives possible, false negatives impossible since the last
+// Clear).
+func (f *PollutionFilter) Test(lineAddr uint64) bool {
+	for i := 0; i < f.hashes; i++ {
+		b := f.hash(lineAddr, i)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove is a best-effort clear of lineAddr's bits, used when the line is
+// re-fetched (standard pollution-filter behaviour). Because bits are
+// shared, this can also clear other addresses' bits — an approximation the
+// original hardware design shares.
+func (f *PollutionFilter) Remove(lineAddr uint64) {
+	for i := 0; i < f.hashes; i++ {
+		b := f.hash(lineAddr, i)
+		f.bits[b/64] &^= 1 << (b % 64)
+	}
+}
+
+// Clear empties the filter.
+func (f *PollutionFilter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.adds = 0
+}
+
+// Adds returns the number of insertions since the last Clear.
+func (f *PollutionFilter) Adds() uint64 { return f.adds }

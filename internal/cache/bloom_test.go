@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asmsim/internal/rng"
+)
+
+// TestBloomNoFalseNegatives: Bloom filters may report false positives but
+// never false negatives — every added address must test positive.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		f := NewPollutionFilter(1024, 4)
+		r := rng.New(seed)
+		var added []uint64
+		for i := 0; i < 50; i++ {
+			a := r.Uint64()
+			f.Add(a)
+			added = append(added, a)
+		}
+		for _, a := range added {
+			if !f.Test(a) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomEmptyTestsNegative(t *testing.T) {
+	f := NewPollutionFilter(1024, 4)
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		if f.Test(r.Uint64()) {
+			t.Fatal("empty filter returned positive")
+		}
+	}
+}
+
+// TestBloomFalsePositiveRateGrowsWhenShrunk reproduces the property the
+// paper's Figure 3 depends on: an under-provisioned pollution filter
+// produces many more false classifications.
+func TestBloomFalsePositiveRateGrowsWhenShrunk(t *testing.T) {
+	rate := func(bits int) float64 {
+		f := NewPollutionFilter(bits, 4)
+		r := rng.New(7)
+		for i := 0; i < 2000; i++ {
+			f.Add(r.Uint64())
+		}
+		probe := rng.New(99)
+		fp := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			if f.Test(probe.Uint64()) {
+				fp++
+			}
+		}
+		return float64(fp) / n
+	}
+	small, large := rate(1024), rate(1<<20)
+	if small < 0.5 {
+		t.Fatalf("saturated small filter should mostly false-positive, got %v", small)
+	}
+	if large > 0.01 {
+		t.Fatalf("large filter false-positive rate %v too high", large)
+	}
+}
+
+func TestBloomClear(t *testing.T) {
+	f := NewPollutionFilter(256, 2)
+	f.Add(42)
+	if f.Adds() != 1 {
+		t.Fatalf("adds %d", f.Adds())
+	}
+	f.Clear()
+	if f.Test(42) || f.Adds() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBloomRemove(t *testing.T) {
+	f := NewPollutionFilter(1<<16, 4)
+	f.Add(42)
+	f.Remove(42)
+	if f.Test(42) {
+		t.Fatal("removed address still positive")
+	}
+}
+
+func TestBloomSizeRounding(t *testing.T) {
+	f := NewPollutionFilter(100, 4)
+	if f.Bits()%64 != 0 || f.Bits() < 100 {
+		t.Fatalf("bits %d", f.Bits())
+	}
+}
+
+func TestBloomHashClamping(t *testing.T) {
+	f := NewPollutionFilter(64, 100) // hashes clamped to 8
+	f.Add(1)
+	if !f.Test(1) {
+		t.Fatal("clamped-hash filter broken")
+	}
+	g := NewPollutionFilter(64, 0) // clamped to 1
+	g.Add(2)
+	if !g.Test(2) {
+		t.Fatal("min-hash filter broken")
+	}
+}
+
+func TestBloomPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size filter must panic")
+		}
+	}()
+	NewPollutionFilter(0, 4)
+}

@@ -1,0 +1,82 @@
+package cache
+
+// MSHR is a miss-status holding register file: it tracks outstanding line
+// fills and merges secondary misses to the same line into the primary
+// miss, bounding each requester's memory-level parallelism by its entry
+// count. Waiters are opaque tokens owned by the caller (the sim package
+// uses instruction-window slot ids).
+type MSHR struct {
+	entries map[uint64]*MSHREntry
+	cap     int
+}
+
+// MSHREntry is one outstanding miss.
+type MSHREntry struct {
+	LineAddr uint64
+	Waiters  []uint64
+	Dirty    bool // a merged write wants the line dirty on fill
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR needs positive capacity")
+	}
+	return &MSHR{entries: make(map[uint64]*MSHREntry, capacity), cap: capacity}
+}
+
+// Full reports whether a new primary miss can NOT be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+
+// Outstanding returns the number of in-flight primary misses.
+func (m *MSHR) Outstanding() int { return len(m.entries) }
+
+// Lookup returns the entry for lineAddr, or nil.
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry {
+	return m.entries[lineAddr]
+}
+
+// Allocate creates an entry for a primary miss. It returns false when the
+// file is full or the line already has an entry (use Merge for that).
+func (m *MSHR) Allocate(lineAddr uint64, waiter uint64, dirty bool) bool {
+	if m.Full() {
+		return false
+	}
+	if _, ok := m.entries[lineAddr]; ok {
+		return false
+	}
+	m.entries[lineAddr] = &MSHREntry{
+		LineAddr: lineAddr,
+		Waiters:  []uint64{waiter},
+		Dirty:    dirty,
+	}
+	return true
+}
+
+// Merge attaches a secondary miss to an existing entry. It returns false
+// when no entry exists for the line.
+func (m *MSHR) Merge(lineAddr uint64, waiter uint64, dirty bool) bool {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return false
+	}
+	e.Waiters = append(e.Waiters, waiter)
+	e.Dirty = e.Dirty || dirty
+	return true
+}
+
+// Complete removes and returns the entry for a filled line, or nil if the
+// line had no entry.
+func (m *MSHR) Complete(lineAddr uint64) *MSHREntry {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, lineAddr)
+	return e
+}
+
+// Reset drops all entries.
+func (m *MSHR) Reset() {
+	clear(m.entries)
+}

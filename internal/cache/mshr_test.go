@@ -1,0 +1,84 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocateAndComplete(t *testing.T) {
+	m := NewMSHR(2)
+	if !m.Allocate(0x10, 1, false) {
+		t.Fatal("allocate failed on empty file")
+	}
+	if m.Lookup(0x10) == nil {
+		t.Fatal("entry not found")
+	}
+	e := m.Complete(0x10)
+	if e == nil || len(e.Waiters) != 1 || e.Waiters[0] != 1 {
+		t.Fatalf("bad completion %+v", e)
+	}
+	if m.Lookup(0x10) != nil {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x10, 1, false)
+	if !m.Merge(0x10, 2, true) {
+		t.Fatal("merge failed")
+	}
+	if m.Merge(0x99, 3, false) {
+		t.Fatal("merge to absent line must fail")
+	}
+	e := m.Complete(0x10)
+	if len(e.Waiters) != 2 || !e.Dirty {
+		t.Fatalf("merge lost state: %+v", e)
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(1, 0, false)
+	m.Allocate(2, 0, false)
+	if !m.Full() {
+		t.Fatal("file should be full")
+	}
+	if m.Allocate(3, 0, false) {
+		t.Fatal("allocate beyond capacity must fail")
+	}
+	m.Complete(1)
+	if m.Full() || m.Outstanding() != 1 {
+		t.Fatal("completion must free a slot")
+	}
+}
+
+func TestMSHRDuplicateAllocate(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(1, 0, false)
+	if m.Allocate(1, 1, false) {
+		t.Fatal("second allocate for same line must fail (use Merge)")
+	}
+}
+
+func TestMSHRCompleteAbsent(t *testing.T) {
+	m := NewMSHR(4)
+	if m.Complete(123) != nil {
+		t.Fatal("completing absent line must return nil")
+	}
+}
+
+func TestMSHRReset(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(1, 0, false)
+	m.Reset()
+	if m.Outstanding() != 0 || m.Lookup(1) != nil {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMSHRPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewMSHR(0)
+}

@@ -1,0 +1,260 @@
+// Package cluster implements the paper's Section 7.5 use case: using
+// ASM's online slowdown estimates for job migration and admission control
+// across machines.
+//
+// Prior systems migrate jobs based on proxy metrics (cache miss counts,
+// bandwidth utilization); ASM gives the system software a *direct*
+// measure of how much interference is hurting each job. This package
+// models a small cluster where each machine is one simulated
+// multi-core system: after every evaluation round the balancer reads each
+// machine's ASM slowdown estimates and can swap the most-slowed job on
+// the most-unfair machine with the least-slowed job elsewhere. Admission
+// control refuses jobs on machines whose tenants already exceed an SLA
+// slowdown bound.
+//
+// Jobs are stationary synthetic streams, so re-running a machine's mix
+// after a migration is equivalent to continuing it — the abstraction that
+// keeps rounds cheap.
+package cluster
+
+import (
+	"fmt"
+
+	"asmsim/internal/core"
+	"asmsim/internal/metrics"
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// Config describes the cluster.
+type Config struct {
+	// Machines is the number of machines.
+	Machines int
+	// System configures each machine (Cores jobs per machine).
+	System sim.Config
+	// RoundQuanta is how many quanta each evaluation round simulates.
+	RoundQuanta int
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("cluster: need at least one machine")
+	}
+	if c.RoundQuanta <= 0 {
+		return fmt.Errorf("cluster: need at least one quantum per round")
+	}
+	if !c.System.EpochPriority {
+		return fmt.Errorf("cluster: ASM needs EpochPriority enabled")
+	}
+	return c.System.Validate()
+}
+
+// Placement assigns job names to machines (one slice per machine, each of
+// length System.Cores).
+type Placement [][]string
+
+// Machine is one machine's most recent evaluation.
+type Machine struct {
+	Jobs      []string
+	Slowdowns []float64 // ASM estimates from the last round
+}
+
+// MaxSlowdown returns the machine's unfairness.
+func (m Machine) MaxSlowdown() float64 { return metrics.MaxSlowdown(m.Slowdowns) }
+
+// Cluster evaluates placements and rebalances them using ASM estimates.
+type Cluster struct {
+	cfg      Config
+	machines []Machine
+	// Migrations records every (round, job, from, to) decision.
+	Migrations []Migration
+	round      int
+}
+
+// Migration is one balancer decision.
+type Migration struct {
+	Round    int
+	Job      string
+	From, To int
+	// Swapped is the job moved in the opposite direction (machines run
+	// full, so migrations are swaps).
+	Swapped string
+}
+
+// New returns a cluster with the given initial placement.
+func New(cfg Config, placement Placement) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(placement) != cfg.Machines {
+		return nil, fmt.Errorf("cluster: placement covers %d of %d machines", len(placement), cfg.Machines)
+	}
+	c := &Cluster{cfg: cfg, machines: make([]Machine, cfg.Machines)}
+	for i, jobs := range placement {
+		if len(jobs) != cfg.System.Cores {
+			return nil, fmt.Errorf("cluster: machine %d has %d jobs for %d cores", i, len(jobs), cfg.System.Cores)
+		}
+		c.machines[i] = Machine{Jobs: append([]string(nil), jobs...)}
+	}
+	return c, nil
+}
+
+// Machines returns the current state of every machine.
+func (c *Cluster) Machines() []Machine { return c.machines }
+
+// EvaluateRound simulates every machine for RoundQuanta quanta and
+// refreshes its ASM slowdown estimates.
+func (c *Cluster) EvaluateRound() error {
+	for i := range c.machines {
+		sd, err := c.evaluate(c.machines[i].Jobs)
+		if err != nil {
+			return fmt.Errorf("machine %d: %w", i, err)
+		}
+		c.machines[i].Slowdowns = sd
+	}
+	c.round++
+	return nil
+}
+
+// evaluate runs one machine's mix and returns the mean ASM estimates over
+// the round's quanta.
+func (c *Cluster) evaluate(jobs []string) ([]float64, error) {
+	specs := make([]workload.Spec, len(jobs))
+	for i, name := range jobs {
+		sp, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown job %q", name)
+		}
+		specs[i] = sp
+	}
+	cfg := c.cfg.System
+	cfg.Cores = len(specs)
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	asm := core.NewASM()
+	sums := make([]float64, len(jobs))
+	quanta := 0
+	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
+		est := asm.Estimate(st)
+		if st.Quantum == 0 && c.cfg.RoundQuanta > 1 {
+			return // first quantum warms structures when we can afford it
+		}
+		quanta++
+		for i, v := range est {
+			sums[i] += v
+		}
+	})
+	sys.RunQuanta(c.cfg.RoundQuanta)
+	if quanta == 0 {
+		return nil, fmt.Errorf("no measured quanta")
+	}
+	for i := range sums {
+		sums[i] /= float64(quanta)
+	}
+	return sums, nil
+}
+
+// Rebalance performs one slowdown-aware migration: the most-slowed job on
+// the machine with the worst unfairness swaps with the least-slowed job
+// on the machine with the best. It returns false when the spread is
+// already within tolerance (no migration pays off).
+func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
+	worst, best := -1, -1
+	for i, m := range c.machines {
+		if m.Slowdowns == nil {
+			return false, fmt.Errorf("cluster: machine %d not evaluated", i)
+		}
+		if worst < 0 || m.MaxSlowdown() > c.machines[worst].MaxSlowdown() {
+			worst = i
+		}
+		if best < 0 || m.MaxSlowdown() < c.machines[best].MaxSlowdown() {
+			best = i
+		}
+	}
+	if worst == best || c.machines[worst].MaxSlowdown()-c.machines[best].MaxSlowdown() <= tolerance {
+		return false, nil
+	}
+	// Victim: the most-slowed job on the worst machine. Replacement: the
+	// least-slowed job on the best machine.
+	vIdx := argmax(c.machines[worst].Slowdowns)
+	rIdx := argmin(c.machines[best].Slowdowns)
+	mv := Migration{
+		Round:   c.round,
+		Job:     c.machines[worst].Jobs[vIdx],
+		From:    worst,
+		To:      best,
+		Swapped: c.machines[best].Jobs[rIdx],
+	}
+	c.machines[worst].Jobs[vIdx], c.machines[best].Jobs[rIdx] =
+		c.machines[best].Jobs[rIdx], c.machines[worst].Jobs[vIdx]
+	// Estimates are stale after a migration.
+	c.machines[worst].Slowdowns = nil
+	c.machines[best].Slowdowns = nil
+	c.Migrations = append(c.Migrations, mv)
+	return true, nil
+}
+
+// CanAdmit implements slowdown-based admission control: a machine may
+// accept new work only while every current tenant's estimated slowdown is
+// within the SLA bound (Section 7.5: "prevent new applications from being
+// scheduled on machines where currently running applications are
+// experiencing significant slowdowns").
+func (c *Cluster) CanAdmit(machine int, slaBound float64) (bool, error) {
+	if machine < 0 || machine >= len(c.machines) {
+		return false, fmt.Errorf("cluster: no machine %d", machine)
+	}
+	m := c.machines[machine]
+	if m.Slowdowns == nil {
+		return false, fmt.Errorf("cluster: machine %d not evaluated", machine)
+	}
+	for _, sd := range m.Slowdowns {
+		if sd > slaBound {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Unfairness returns the mean of per-machine max slowdowns.
+func (c *Cluster) Unfairness() float64 {
+	sum := 0.0
+	for _, m := range c.machines {
+		sum += m.MaxSlowdown()
+	}
+	return sum / float64(len(c.machines))
+}
+
+// WorstSlowdown returns the highest slowdown anywhere in the cluster —
+// the SLA-violation metric migration tries to reduce.
+func (c *Cluster) WorstSlowdown() float64 {
+	worst := 0.0
+	for _, m := range c.machines {
+		if s := m.MaxSlowdown(); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

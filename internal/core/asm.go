@@ -1,0 +1,174 @@
+// Package core implements the paper's primary contribution: the
+// Application Slowdown Model (ASM, Sections 3-4).
+//
+// ASM estimates each application's slowdown as the ratio of its shared-
+// cache access rate had it run alone (CAR_alone) to its measured shared
+// cache access rate (CAR_shared). CAR_alone is estimated per quantum from
+// aggregate behaviour collected during the epochs in which the application
+// was given highest priority at the memory controller:
+//
+//	CAR_alone = (epoch-hits + epoch-misses) /
+//	            (epoch-count*E - epoch-excess-cycles
+//	             - epoch-ATS-misses*avg-queueing-delay)
+//
+// where epoch-excess-cycles charges contention misses (cache capacity
+// interference quantified via the auxiliary tag store) with the difference
+// between the measured average miss and hit service times, and the final
+// term removes residual memory queueing delay (Section 4.3).
+package core
+
+import "asmsim/internal/sim"
+
+// Estimator is the common interface of all slowdown models in this repo:
+// a pure function from one quantum's counters to per-app slowdown
+// estimates.
+type Estimator interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Estimate returns one slowdown estimate per application for the
+	// quantum described by st.
+	Estimate(st *sim.QuantumStats) []float64
+}
+
+// maxSlowdown bounds estimates against degenerate denominators.
+const maxSlowdown = 50.0
+
+// clampSlowdown restricts an estimate to the meaningful range [1, 50]:
+// slowdowns below 1 are measurement noise (an app cannot run faster with
+// interference than alone), and unbounded values only arise from
+// near-zero denominators.
+func clampSlowdown(s float64) float64 {
+	switch {
+	case s < 1 || s != s: // NaN guards
+		return 1
+	case s > maxSlowdown:
+		return maxSlowdown
+	}
+	return s
+}
+
+// ASM is the Application Slowdown Model.
+type ASM struct {
+	// NoQueueingCorrection disables the Section 4.3 residual memory
+	// queueing term (for the ablation benchmark; always leave false for
+	// the full model).
+	NoQueueingCorrection bool
+
+	// MinEpochRequests gates the model on sample size: with fewer shared-
+	// cache requests observed across the app's epochs, the CAR ratio is
+	// dominated by counting noise (the epoch window covers only
+	// 1/numApps of time, so small counts are amplified by that factor).
+	// Below the gate the estimate decays toward 1 — an app that barely
+	// touches the shared cache is barely slowed by it. 0 selects the
+	// default of 64.
+	MinEpochRequests uint64
+
+	// prev holds the previous quantum's estimates, used as a fallback for
+	// apps that received no epochs or generated no traffic this quantum
+	// (phase behaviour is stable across adjacent quanta, Section 3.1).
+	prev []float64
+}
+
+// NewASM returns an ASM estimator.
+func NewASM() *ASM { return &ASM{} }
+
+// Name implements Estimator.
+func (*ASM) Name() string { return "ASM" }
+
+// Estimate implements Estimator using the model of Sections 4.1-4.4.
+func (m *ASM) Estimate(st *sim.QuantumStats) []float64 {
+	n := st.NumApps()
+	if len(m.prev) != n {
+		m.prev = make([]float64, n)
+		for i := range m.prev {
+			m.prev[i] = 1
+		}
+	}
+	out := make([]float64, n)
+	for a := 0; a < n; a++ {
+		out[a] = m.estimateApp(st, a)
+		m.prev[a] = out[a]
+	}
+	return out
+}
+
+// estimateApp computes one app's slowdown for the quantum.
+func (m *ASM) estimateApp(st *sim.QuantumStats, a int) float64 {
+	carShared := st.CARShared(a)
+	carAlone, ok := m.CARAlone(st, a)
+	if carShared == 0 || !ok {
+		// No reliable signal this quantum: decay the previous estimate
+		// toward 1. Phase stability justifies reusing it briefly
+		// (Section 3.1), but an app that persistently generates no
+		// shared-cache traffic is not being slowed by shared resources.
+		return clampSlowdown(1 + 0.5*(m.prev[a]-1))
+	}
+	return clampSlowdown(carAlone / carShared)
+}
+
+// CARAlone estimates app a's alone shared-cache access rate for the
+// quantum per Sections 4.2-4.4. ok is false when the app received no
+// epochs or produced no epoch traffic, leaving the model without signal.
+func (m *ASM) CARAlone(st *sim.QuantumStats, a int) (carAlone float64, ok bool) {
+	aq := &st.Apps[a]
+	epochRequests := aq.EpochHits + aq.EpochMisses
+	minReq := m.MinEpochRequests
+	if minReq == 0 {
+		minReq = 64
+	}
+	if aq.EpochCount == 0 || epochRequests < minReq {
+		return 0, false
+	}
+
+	// Section 4.4: scale the sampled ATS hit fraction to the epoch's
+	// access count. With an unsampled ATS the fraction is exact.
+	var atsHitFrac float64
+	if aq.EpochATSProbes > 0 {
+		atsHitFrac = float64(aq.EpochATSHits) / float64(aq.EpochATSProbes)
+	}
+	epochATSHits := atsHitFrac * float64(aq.EpochAccesses)
+	epochATSMisses := float64(aq.EpochAccesses) - epochATSHits
+
+	// Section 4.2: excess cycles spent on contention misses.
+	contentionMisses := epochATSHits - float64(aq.EpochHits)
+	if contentionMisses < 0 {
+		contentionMisses = 0
+	}
+	avgMissTime := perUnit(aq.EpochMissTime, aq.EpochMisses)
+	avgHitTime := perUnit(aq.EpochHitTime, aq.EpochHits)
+	if avgHitTime == 0 {
+		avgHitTime = float64(st.L2HitLatency)
+	}
+	if avgMissTime == 0 {
+		// The app had no epoch misses; there is no miss-service estimate
+		// and also no contention-miss charge to apply.
+		avgMissTime = avgHitTime
+	}
+	excess := contentionMisses * (avgMissTime - avgHitTime)
+	if excess < 0 {
+		excess = 0
+	}
+
+	// Section 4.3: residual memory queueing for the misses that would
+	// remain even when run alone.
+	avgQueueing := perUnit(aq.QueueingCycles, aq.EpochMisses)
+	queueing := epochATSMisses * avgQueueing
+	if m.NoQueueingCorrection {
+		queueing = 0
+	}
+
+	epochCycles := float64(aq.EpochCount) * float64(st.EpochLen)
+	denom := epochCycles - excess - queueing
+	if denom <= 0 {
+		denom = epochCycles * 0.05 // degenerate: almost all time was excess
+	}
+	return float64(epochRequests) / denom, true
+}
+
+// perUnit returns num/den as float64, or 0 when den is 0.
+func perUnit(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

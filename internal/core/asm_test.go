@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"asmsim/internal/sim"
+)
+
+// fixture builds a QuantumStats with one app and sensible defaults:
+// Q = 1M cycles, E = 10K, 100 epochs assigned, unsampled ATS.
+func fixture() *sim.QuantumStats {
+	st := &sim.QuantumStats{
+		Cycles:       1_000_000,
+		EpochLen:     10_000,
+		L2HitLatency: 20,
+		ATSScale:     1,
+		L2Ways:       16,
+		Apps:         make([]sim.AppQuantum, 1),
+	}
+	a := &st.Apps[0]
+	a.Retired = 500_000
+	a.EpochCount = 100
+	return st
+}
+
+func TestASMNoInterferenceNoSlowdown(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	// The app's epoch behaviour matches its quantum behaviour exactly:
+	// epochs cover 100*10K = 1M cycles worth of extrapolated accesses.
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 8_000, 2_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 8_000, 2_000
+	a.EpochATSProbes, a.EpochATSHits = 10_000, 8_000 // ATS agrees with the cache: no contention
+	a.EpochHitTime, a.EpochMissTime = 160_000, 400_000
+	a.QueueingCycles = 0
+
+	sd := NewASM().Estimate(st)[0]
+	if math.Abs(sd-1) > 0.01 {
+		t.Fatalf("no-interference slowdown %v, want ~1", sd)
+	}
+}
+
+func TestASMContentionMissesRaiseSlowdown(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 4_000, 6_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 4_000, 6_000
+	// Had it run alone, 8000 of those accesses would have hit: 4000
+	// contention misses.
+	a.EpochATSProbes, a.EpochATSHits = 10_000, 8_000
+	a.EpochHitTime = 80_000   // avg hit 20 cycles
+	a.EpochMissTime = 900_000 // avg miss 150 cycles
+	sd := NewASM().Estimate(st)[0]
+	// excess = 4000 * (150 - 20) = 520K of the 1M epoch cycles.
+	// CAR_alone = 10000/480K; CAR_shared = 10000/1M => slowdown ~2.08.
+	if sd < 1.8 || sd < 1 || sd > 2.4 {
+		t.Fatalf("contention slowdown %v, want ~2.08", sd)
+	}
+}
+
+func TestASMQueueingCorrection(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 0, 10_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 0, 10_000
+	a.EpochATSProbes, a.EpochATSHits = 10_000, 0 // all true misses: no contention
+	a.EpochMissTime = 900_000
+	a.QueueingCycles = 200_000 // residual queueing: 20 cycles per miss
+
+	with := NewASM().Estimate(st)[0]
+	noCorr := NewASM()
+	noCorr.NoQueueingCorrection = true
+	without := noCorr.Estimate(st)[0]
+	if with <= without {
+		t.Fatalf("queueing correction must raise CAR_alone (so the estimate): %v vs %v", with, without)
+	}
+	// epoch cycles 1M - queueing 10000*20=200K => CAR_alone = 10000/800K;
+	// slowdown = 1.25.
+	if math.Abs(with-1.25) > 0.05 {
+		t.Fatalf("queueing-corrected slowdown %v, want ~1.25", with)
+	}
+}
+
+func TestASMSampledScaling(t *testing.T) {
+	// A sampled ATS sees 1/32 of probes; Section 4.4 scales fractions to
+	// epoch accesses — the estimate must match the unsampled equivalent.
+	build := func(scale float64, probes, hits uint64) *sim.QuantumStats {
+		st := fixture()
+		st.ATSScale = scale
+		a := &st.Apps[0]
+		a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 4_000, 6_000
+		a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 4_000, 6_000
+		a.EpochATSProbes, a.EpochATSHits = probes, hits
+		a.EpochHitTime = 80_000
+		a.EpochMissTime = 900_000
+		return st
+	}
+	full := NewASM().Estimate(build(1, 10_000, 8_000))[0]
+	sampled := NewASM().Estimate(build(32, 312, 250))[0] // same 80% hit fraction
+	if math.Abs(full-sampled) > 0.02*full {
+		t.Fatalf("sampled estimate %v diverges from full %v", sampled, full)
+	}
+}
+
+func TestASMFallbackWithoutSignal(t *testing.T) {
+	m := NewASM()
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 4_000, 6_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 4_000, 6_000
+	a.EpochATSProbes, a.EpochATSHits = 10_000, 8_000
+	a.EpochHitTime = 80_000
+	a.EpochMissTime = 900_000
+	first := m.Estimate(st)[0]
+	if first <= 1 {
+		t.Fatalf("setup should produce slowdown > 1, got %v", first)
+	}
+	// Next quantum: no epochs assigned -> the previous estimate is reused
+	// with decay toward 1 (persistent lack of signal means the app is not
+	// interacting with the shared resources).
+	empty := fixture()
+	empty.Apps[0].EpochCount = 0
+	empty.Apps[0].L2Accesses = 5_000
+	want := 1 + 0.5*(first-1)
+	if got := m.Estimate(empty)[0]; got != want {
+		t.Fatalf("fallback %v, want decayed %v", got, want)
+	}
+}
+
+func TestASMMinSignalGate(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	// A trickle of epoch traffic (below the 64-request gate) must not
+	// produce a noise-amplified estimate.
+	a.L2Accesses, a.L2Hits, a.L2Misses = 40, 10, 30
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 5, 2, 3
+	a.EpochATSProbes, a.EpochATSHits = 5, 5
+	a.EpochHitTime, a.EpochMissTime = 40, 900
+	if got := NewASM().Estimate(st)[0]; got != 1 {
+		t.Fatalf("tiny-signal estimate %v, want 1", got)
+	}
+}
+
+func TestASMFreshModelDefaultsToOne(t *testing.T) {
+	st := fixture()
+	st.Apps[0].EpochCount = 0
+	if got := NewASM().Estimate(st)[0]; got != 1 {
+		t.Fatalf("fresh model without signal must estimate 1, got %v", got)
+	}
+}
+
+func TestASMClamps(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	// Pathological counters: excess swallows nearly all epoch time.
+	a.L2Accesses, a.L2Hits, a.L2Misses = 100_000, 0, 100_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 100_000, 1, 99_999
+	a.EpochATSProbes, a.EpochATSHits = 100_000, 100_000
+	a.EpochHitTime = 20
+	a.EpochMissTime = 1_000_000
+	sd := NewASM().Estimate(st)[0]
+	if sd < 1 || sd > 50 {
+		t.Fatalf("estimate %v outside [1, 50]", sd)
+	}
+}
+
+func TestClampSlowdown(t *testing.T) {
+	if clampSlowdown(0.5) != 1 || clampSlowdown(100) != 50 || clampSlowdown(3) != 3 {
+		t.Fatal("clamp broken")
+	}
+	if clampSlowdown(math.NaN()) != 1 {
+		t.Fatal("NaN must clamp to 1")
+	}
+}
+
+func TestCARAtWaysThreeCases(t *testing.T) {
+	// Section 7.1's three cases: same hits => Q cycles; more hits =>
+	// fewer cycles (higher CAR); fewer hits => more cycles (lower CAR).
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 5_000, 5_000
+	a.QuantumHitTime = 100_000  // avg hit 20
+	a.QuantumMissTime = 750_000 // avg miss 150
+	a.ATSProbes = 10_000
+	// Way profile: hits grow linearly with ways, 5000 hits at 8 ways
+	// (current behaviour), 10000 at 16.
+	a.ATSHitsAtWay = make([]uint64, 16)
+	for p := 0; p < 16; p++ {
+		a.ATSHitsAtWay[p] = 625
+	}
+	carCurrent := CARAtWays(st, 0, 8)
+	carMore := CARAtWays(st, 0, 16)
+	carLess := CARAtWays(st, 0, 2)
+	baseline := float64(a.L2Accesses) / float64(st.Cycles)
+	if math.Abs(carCurrent-baseline) > 0.02*baseline {
+		t.Fatalf("same-hits CAR %v, want ~%v", carCurrent, baseline)
+	}
+	if carMore <= carCurrent {
+		t.Fatalf("more ways must raise CAR: %v <= %v", carMore, carCurrent)
+	}
+	if carLess >= carCurrent {
+		t.Fatalf("fewer ways must lower CAR: %v >= %v", carLess, carCurrent)
+	}
+}
+
+func TestCARAtWaysNoAccesses(t *testing.T) {
+	st := fixture()
+	if CARAtWays(st, 0, 8) != 0 {
+		t.Fatal("idle app must have zero CAR")
+	}
+}
+
+func TestSlowdownCurveMonotone(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses, a.L2Hits, a.L2Misses = 10_000, 5_000, 5_000
+	a.EpochAccesses, a.EpochHits, a.EpochMisses = 10_000, 5_000, 5_000
+	a.EpochATSProbes, a.EpochATSHits = 10_000, 9_000
+	a.EpochHitTime, a.EpochMissTime = 100_000, 750_000
+	a.QuantumHitTime, a.QuantumMissTime = 100_000, 750_000
+	a.ATSProbes = 10_000
+	a.ATSHitsAtWay = make([]uint64, 16)
+	for p := 0; p < 16; p++ {
+		a.ATSHitsAtWay[p] = 563
+	}
+	m := NewASM()
+	curve, ok := SlowdownCurve(m, st, 0)
+	if !ok {
+		t.Fatal("curve unavailable")
+	}
+	if len(curve) != 16 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for n := 1; n < 16; n++ {
+		if curve[n] > curve[n-1]+1e-9 {
+			t.Fatalf("slowdown increased with more ways at %d: %v > %v", n+1, curve[n], curve[n-1])
+		}
+	}
+}
+
+func TestSlowdownCurveNoSignal(t *testing.T) {
+	st := fixture()
+	st.Apps[0].EpochCount = 0
+	if _, ok := SlowdownCurve(NewASM(), st, 0); ok {
+		t.Fatal("curve must be unavailable without epochs")
+	}
+}

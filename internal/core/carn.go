@@ -1,0 +1,88 @@
+package core
+
+import "asmsim/internal/sim"
+
+// CARAtWays estimates app a's shared-cache access rate had it been
+// allocated n ways, per Section 7.1's CAR_n model:
+//
+//	CAR_n = (quantum-hits + quantum-misses) /
+//	        (Q - Δhits * (quantum-miss-time - quantum-hit-time))
+//
+// where Δhits = quantum-hits_n - quantum-hits comes from the auxiliary tag
+// store's LRU stack-position profile (scaled when the ATS is sampled), and
+// the hit/miss service times are the quantum's measured averages. When the
+// allocation would produce more hits than observed, the requests would have
+// been served in fewer cycles (CAR_n rises); with fewer hits, in more
+// cycles (CAR_n falls).
+func CARAtWays(st *sim.QuantumStats, a, n int) float64 {
+	aq := &st.Apps[a]
+	accesses := aq.L2Hits + aq.L2Misses
+	if accesses == 0 || st.Cycles == 0 {
+		return 0
+	}
+
+	hitsN := hitsAtWays(st, a, n)
+	deltaHits := hitsN - float64(aq.L2Hits)
+
+	avgMissTime := perUnit(aq.QuantumMissTime, aq.L2Misses)
+	avgHitTime := perUnit(aq.QuantumHitTime, aq.L2Hits)
+	if avgHitTime == 0 {
+		avgHitTime = float64(st.L2HitLatency)
+	}
+	if avgMissTime <= avgHitTime {
+		// No observed misses (or noise): an extra hit saves nothing and
+		// the access rate cannot depend on the allocation.
+		return float64(accesses) / float64(st.Cycles)
+	}
+
+	cyclesN := float64(st.Cycles) - deltaHits*(avgMissTime-avgHitTime)
+	if min := float64(st.Cycles) * 0.05; cyclesN < min {
+		cyclesN = min
+	}
+	return float64(accesses) / cyclesN
+}
+
+// hitsAtWays returns the estimated number of this quantum's accesses that
+// would have hit with an n-way allocation, from the (possibly sampled)
+// ATS stack-position profile scaled to all accesses (Section 4.4).
+func hitsAtWays(st *sim.QuantumStats, a, n int) float64 {
+	aq := &st.Apps[a]
+	if aq.ATSProbes == 0 {
+		return 0
+	}
+	if n > len(aq.ATSHitsAtWay) {
+		n = len(aq.ATSHitsAtWay)
+	}
+	var h uint64
+	for p := 0; p < n; p++ {
+		h += aq.ATSHitsAtWay[p]
+	}
+	frac := float64(h) / float64(aq.ATSProbes)
+	return frac * float64(aq.L2Hits+aq.L2Misses)
+}
+
+// SlowdownCurve returns app a's estimated slowdown for every way
+// allocation n in [1, st.L2Ways], with index n-1 holding slowdown_n =
+// CAR_alone / CAR_n. The returned ok is false when ASM has no signal for
+// the app this quantum (the caller should reuse stale curves or treat the
+// app as insensitive).
+//
+// This is the quantity ASM-Cache feeds to the lookahead partitioner, and
+// the paper highlights that deriving it is straightforward for ASM but
+// non-trivial for per-request models like FST/PTCA (Section 7.1).
+func SlowdownCurve(m *ASM, st *sim.QuantumStats, a int) (curve []float64, ok bool) {
+	carAlone, ok := m.CARAlone(st, a)
+	if !ok {
+		return nil, false
+	}
+	curve = make([]float64, st.L2Ways)
+	for n := 1; n <= st.L2Ways; n++ {
+		carN := CARAtWays(st, a, n)
+		if carN <= 0 {
+			curve[n-1] = 1
+			continue
+		}
+		curve[n-1] = clampSlowdown(carAlone / carN)
+	}
+	return curve, true
+}

@@ -1,0 +1,46 @@
+package dram
+
+import (
+	"testing"
+
+	"asmsim/internal/rng"
+)
+
+// benchSystem drives a controller under sustained 4-app load.
+func benchLoad(b *testing.B, factory PolicyFactory) {
+	s := NewSystem(DDR31333(), DefaultGeometry(1), 4, factory)
+	r := rng.New(1)
+	ratio := uint64(s.Timing().CPUPerDRAM)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep ~32 requests in flight.
+		if s.Channels()[0].QueuedReads() < 32 {
+			s.Enqueue(&Request{App: int(r.Uint64n(4)), LineAddr: r.Uint64n(1 << 24)}, now)
+		}
+		s.Tick(now)
+		now += ratio
+	}
+}
+
+func BenchmarkControllerFRFCFS(b *testing.B) {
+	benchLoad(b, func(int) Scheduler { return NewFRFCFS() })
+}
+
+func BenchmarkControllerPARBS(b *testing.B) {
+	benchLoad(b, func(int) Scheduler { return NewPARBS(4) })
+}
+
+func BenchmarkControllerTCM(b *testing.B) {
+	benchLoad(b, func(int) Scheduler { return NewTCM(4, 1) })
+}
+
+func BenchmarkGeometryMap(b *testing.B) {
+	g := DefaultGeometry(2)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		_, bank, _ := g.Map(uint64(i) * 977)
+		sink += bank
+	}
+	_ = sink
+}

@@ -1,0 +1,457 @@
+package dram
+
+// bankState tracks one DRAM bank's row buffer and availability.
+type bankState struct {
+	openRow   int64  // -1 = closed (precharged)
+	busyUntil uint64 // CPU cycle until which the bank is occupied
+	occupant  int    // app whose request occupies the bank
+	// lastRow[app] is the row this app most recently accessed in the
+	// bank, used to attribute row-buffer disturbance: an access that
+	// conflicts now but targets the app's own previous row would have
+	// been a row hit had the app run alone (STFM-style accounting).
+	lastRow []int64
+}
+
+// Controller is the memory controller for one channel: a 128-entry read
+// request buffer, a posted-write queue with watermark-based draining, bank
+// and data-bus timing, a pluggable scheduling policy, the epoch
+// highest-priority overlay, and the per-app accounting consumed by the
+// slowdown models:
+//
+//   - queueing cycles per Section 4.3 of the paper (a cycle counts when the
+//     highest-priority app has an outstanding request but the previous
+//     command issued belonged to another app);
+//   - STFM-style per-app interference cycles (scaled by the app's current
+//     memory-level parallelism), the accounting FST and PTCA build on;
+//   - per-request interference cycles, used by the per-request baselines
+//     and by the Figure 6 latency-distribution experiment.
+type Controller struct {
+	timing  Timing
+	geom    Geometry
+	channel int
+	numApps int
+
+	banks        []bankState
+	busBusyUntil uint64
+	busApp       int
+
+	readQ     []*Request
+	writeQ    []*Request
+	readQCap  int
+	writeQCap int
+	draining  bool
+
+	inService []*Request
+
+	policy       Scheduler
+	priorityApp  int
+	lastCmdApp   int
+	lastCmdCycle uint64
+	anyIssued    bool
+
+	outstanding []int // queued+in-service reads per app
+
+	// Per-app accounting (all in CPU cycles).
+	queueingCycles []uint64
+	interfCycles   []float64
+	readsDone      []uint64
+	latencySum     []uint64
+	rowHits        []uint64
+	servedReads    []uint64 // reads served per app, reset per policy window (TCM)
+
+	busyTicks  uint64 // DRAM ticks with a data transfer in flight
+	totalTicks uint64
+	refreshes  uint64
+}
+
+// NewController returns a controller for one channel.
+func NewController(t Timing, g Geometry, channel, numApps int, policy Scheduler) *Controller {
+	c := &Controller{
+		timing:         t,
+		geom:           g,
+		channel:        channel,
+		numApps:        numApps,
+		banks:          make([]bankState, g.BanksPerChan),
+		readQCap:       128,
+		writeQCap:      64,
+		policy:         policy,
+		priorityApp:    -1,
+		lastCmdApp:     -1,
+		busApp:         -1,
+		outstanding:    make([]int, numApps),
+		queueingCycles: make([]uint64, numApps),
+		interfCycles:   make([]float64, numApps),
+		readsDone:      make([]uint64, numApps),
+		latencySum:     make([]uint64, numApps),
+		rowHits:        make([]uint64, numApps),
+		servedReads:    make([]uint64, numApps),
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].occupant = -1
+		c.banks[i].lastRow = make([]int64, numApps)
+		for a := range c.banks[i].lastRow {
+			c.banks[i].lastRow[a] = -1
+		}
+	}
+	return c
+}
+
+// Policy returns the controller's scheduling policy.
+func (c *Controller) Policy() Scheduler { return c.policy }
+
+// SetPriorityApp installs the epoch highest-priority application (-1 for
+// none). While set, that app's requests are serviced before all others.
+func (c *Controller) SetPriorityApp(app int) { c.priorityApp = app }
+
+// PriorityApp returns the current highest-priority app, or -1.
+func (c *Controller) PriorityApp() int { return c.priorityApp }
+
+// CanEnqueue reports whether a request of the given kind would be accepted
+// this cycle.
+func (c *Controller) CanEnqueue(write bool) bool {
+	if write {
+		return len(c.writeQ) < c.writeQCap
+	}
+	return len(c.readQ) < c.readQCap
+}
+
+// Enqueue adds a request to the controller. It returns false (and does not
+// take the request) when the corresponding queue is full; the caller must
+// retry later.
+func (c *Controller) Enqueue(r *Request, now uint64) bool {
+	_, r.bank, r.row = c.geom.Map(r.LineAddr)
+	r.Enqueue = now
+	if r.Write {
+		if len(c.writeQ) >= c.writeQCap {
+			return false
+		}
+		c.writeQ = append(c.writeQ, r)
+		return true
+	}
+	if len(c.readQ) >= c.readQCap {
+		return false
+	}
+	c.readQ = append(c.readQ, r)
+	c.outstanding[r.App]++
+	return true
+}
+
+// QueuedReads returns the number of queued (not yet issued) reads.
+func (c *Controller) QueuedReads() int { return len(c.readQ) }
+
+// OutstandingReads returns app's queued reads (issued requests no longer
+// count: their timing is fixed once scheduled).
+func (c *Controller) OutstandingReads(app int) int { return c.outstanding[app] }
+
+// Tick advances the controller by one DRAM cycle. now is the current CPU
+// cycle; the caller invokes Tick every Timing.CPUPerDRAM CPU cycles.
+func (c *Controller) Tick(now uint64) {
+	c.totalTicks++
+	if c.busBusyUntil > now {
+		c.busyTicks++
+	}
+	// Periodic refresh: all banks occupied for tRFC, rows closed.
+	if c.timing.RefreshEnabled() && c.totalTicks%uint64(c.timing.TREFI) == 0 {
+		until := now + uint64(c.timing.TRFC*c.timing.CPUPerDRAM)
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.busyUntil < until {
+				b.busyUntil = until
+				b.occupant = -1
+			}
+			b.openRow = -1
+		}
+		c.refreshes++
+	}
+	c.completeFinished(now)
+	c.account(now)
+	c.updateDrainMode()
+
+	if c.draining {
+		if r := c.pickWrite(now); r != nil {
+			c.issue(r, now)
+		}
+		return
+	}
+	if r := c.pickRead(now); r != nil {
+		c.issue(r, now)
+	} else if len(c.readQ) == 0 {
+		// No read work at all: sneak a write in.
+		if w := c.pickWrite(now); w != nil {
+			c.issue(w, now)
+		}
+	}
+}
+
+// completeFinished fires Done callbacks for requests whose data has fully
+// transferred.
+func (c *Controller) completeFinished(now uint64) {
+	kept := c.inService[:0]
+	for _, r := range c.inService {
+		if r.Complete <= now {
+			if !r.Write {
+				c.readsDone[r.App]++
+				c.servedReads[r.App]++
+				c.latencySum[r.App] += r.TotalLatency()
+				if r.RowHit {
+					c.rowHits[r.App]++
+				}
+			}
+			if r.Done != nil {
+				r.Done(r, now)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.inService = kept
+}
+
+// updateDrainMode applies write-queue watermarks.
+func (c *Controller) updateDrainMode() {
+	hi := c.writeQCap * 3 / 4
+	lo := c.writeQCap / 4
+	if len(c.writeQ) >= hi {
+		c.draining = true
+	} else if len(c.writeQ) <= lo {
+		c.draining = false
+	}
+}
+
+// bankFree reports whether r's bank can accept a new request.
+func (c *Controller) bankFree(r *Request, now uint64) bool {
+	return c.banks[r.bank].busyUntil <= now
+}
+
+// rowHit reports whether r would hit in its bank's row buffer right now.
+func (c *Controller) rowHit(r *Request) bool {
+	return c.banks[r.bank].openRow == int64(r.row)
+}
+
+// pickRead selects the next read to service, applying the priority overlay
+// and then the scheduling policy.
+func (c *Controller) pickRead(now uint64) *Request {
+	if len(c.readQ) == 0 {
+		return nil
+	}
+	// Priority overlay: if the highest-priority app has any serviceable
+	// request, the policy chooses only among those.
+	if c.priorityApp >= 0 {
+		var best *Request
+		bestIdx := -1
+		for i, r := range c.readQ {
+			if r.App != c.priorityApp || !c.bankFree(r, now) {
+				continue
+			}
+			if best == nil || betterFRFCFS(c, r, best) {
+				best, bestIdx = r, i
+			}
+		}
+		if best != nil {
+			c.removeRead(bestIdx)
+			return best
+		}
+	}
+	r, idx := c.policy.Pick(c, now)
+	if r == nil {
+		return nil
+	}
+	c.removeRead(idx)
+	return r
+}
+
+// removeRead deletes index i from the read queue, preserving order (age
+// order matters to every policy).
+func (c *Controller) removeRead(i int) {
+	c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+}
+
+// pickWrite drains writes oldest-row-hit-first.
+func (c *Controller) pickWrite(now uint64) *Request {
+	bestIdx := -1
+	for i, r := range c.writeQ {
+		if !c.bankFree(r, now) {
+			continue
+		}
+		if bestIdx == -1 {
+			bestIdx = i
+			continue
+		}
+		if c.rowHit(r) && !c.rowHit(c.writeQ[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	if bestIdx == -1 {
+		return nil
+	}
+	r := c.writeQ[bestIdx]
+	c.writeQ = append(c.writeQ[:bestIdx], c.writeQ[bestIdx+1:]...)
+	return r
+}
+
+// issue schedules all commands for r and computes its completion time.
+func (c *Controller) issue(r *Request, now uint64) {
+	b := &c.banks[r.bank]
+	ratio := uint64(c.timing.CPUPerDRAM)
+
+	var cmdLat int // bus cycles from issue to first data beat
+	switch {
+	case b.openRow == int64(r.row):
+		cmdLat = c.timing.TCL
+		r.RowHit = true
+	case b.openRow == -1:
+		cmdLat = c.timing.TRCD + c.timing.TCL
+	default:
+		cmdLat = c.timing.TRP + c.timing.TRCD + c.timing.TCL
+	}
+	// Row-buffer disturbance: the access misses the row buffer now, but
+	// targets the row this app itself opened last in this bank — alone it
+	// would have been a row hit. Charge the activate/precharge overhead
+	// as interference (per-request and parallelism-scaled per-app).
+	if !r.Write && !r.RowHit && b.lastRow[r.App] == int64(r.row) {
+		penalty := uint64(cmdLat-c.timing.TCL) * ratio
+		r.addInterference(penalty)
+		par := c.outstanding[r.App] + 1 // +1: this request
+		c.interfCycles[r.App] += float64(penalty) / float64(par)
+	}
+	b.lastRow[r.App] = int64(r.row)
+
+	dataReady := now + uint64(cmdLat)*ratio
+	dataStart := dataReady
+	if c.busBusyUntil > dataStart {
+		dataStart = c.busBusyUntil
+	}
+	complete := dataStart + uint64(c.timing.TBurst)*ratio
+
+	r.Start = now
+	r.Complete = complete
+
+	b.openRow = int64(r.row)
+	b.occupant = r.App
+	b.busyUntil = complete
+	if r.Write {
+		b.busyUntil += uint64(c.timing.TWR) * ratio
+	}
+	c.busBusyUntil = complete
+	c.busApp = r.App
+	c.lastCmdApp = r.App
+	c.lastCmdCycle = now
+	c.anyIssued = true
+
+	if !r.Write {
+		c.outstanding[r.App]--
+	}
+	c.inService = append(c.inService, r)
+}
+
+// account performs the per-tick bookkeeping the slowdown models consume.
+func (c *Controller) account(now uint64) {
+	ratio := uint64(c.timing.CPUPerDRAM)
+
+	// Per-request and per-app (parallelism-scaled, STFM-style)
+	// interference cycles for the queued reads. A queued read is
+	// interfered this tick when its bank is occupied by another app's
+	// request, the data bus is transferring another app's data, or the
+	// controller's last command slot (previous tick) went to another app.
+	var blocked [64]int
+	busBusyOther := c.busBusyUntil > now
+	cmdSlotTaken := c.anyIssued && now-c.lastCmdCycle <= ratio
+	for _, r := range c.readQ {
+		b := &c.banks[r.bank]
+		bankBusy := b.busyUntil > now
+		// Bus and command-slot contention only apply when the request was
+		// otherwise schedulable (its bank free); a request stuck behind
+		// its own bank's work is not being interfered with this tick.
+		interfered := (bankBusy && b.occupant != r.App) ||
+			(!bankBusy && busBusyOther && c.busApp != r.App) ||
+			(!bankBusy && cmdSlotTaken && c.lastCmdApp != r.App)
+		if interfered {
+			r.addInterference(ratio)
+			if r.App < len(blocked) {
+				blocked[r.App]++
+			}
+		}
+	}
+	for app := 0; app < c.numApps && app < len(blocked); app++ {
+		if n := blocked[app]; n > 0 {
+			par := c.outstanding[app]
+			if par < n {
+				par = n
+			}
+			c.interfCycles[app] += float64(ratio) * float64(n) / float64(par)
+		}
+	}
+
+	// ASM Section 4.3 queueing cycles: the highest-priority app has an
+	// outstanding request, the previous command issued belonged to
+	// another app, and the request is genuinely held up by other-app
+	// occupancy (a cycle the app would also have spent waiting on its own
+	// bank alone is not removable queueing; counting it would over-
+	// correct CAR_alone, badly so at high core counts where the last
+	// command almost always belongs to someone else).
+	if p := c.priorityApp; p >= 0 && p < len(blocked) && blocked[p] > 0 && c.lastCmdApp != p {
+		c.queueingCycles[p] += ratio
+	}
+}
+
+// QueueingCycles returns the accumulated Section 4.3 queueing cycles for
+// app since the last reset.
+func (c *Controller) QueueingCycles(app int) uint64 { return c.queueingCycles[app] }
+
+// InterferenceCycles returns the accumulated STFM-style parallelism-scaled
+// interference cycles for app since the last reset.
+func (c *Controller) InterferenceCycles(app int) float64 { return c.interfCycles[app] }
+
+// ReadsDone returns completed reads for app since the last reset.
+func (c *Controller) ReadsDone(app int) uint64 { return c.readsDone[app] }
+
+// AvgReadLatency returns the mean read latency in CPU cycles for app since
+// the last reset, or 0 with no completed reads.
+func (c *Controller) AvgReadLatency(app int) float64 {
+	if c.readsDone[app] == 0 {
+		return 0
+	}
+	return float64(c.latencySum[app]) / float64(c.readsDone[app])
+}
+
+// RowHitRate returns app's row-buffer hit rate since the last reset.
+func (c *Controller) RowHitRate(app int) float64 {
+	if c.readsDone[app] == 0 {
+		return 0
+	}
+	return float64(c.rowHits[app]) / float64(c.readsDone[app])
+}
+
+// Refreshes returns how many refresh windows have occurred.
+func (c *Controller) Refreshes() uint64 { return c.refreshes }
+
+// BusUtilization returns the fraction of DRAM ticks the data bus was busy.
+func (c *Controller) BusUtilization() float64 {
+	if c.totalTicks == 0 {
+		return 0
+	}
+	return float64(c.busyTicks) / float64(c.totalTicks)
+}
+
+// ServedReads returns and clears app's served-read count for the policy
+// window (used by TCM's clustering).
+func (c *Controller) ServedReads(app int) uint64 { return c.servedReads[app] }
+
+// ResetWindowStats clears the policy-window counters (TCM).
+func (c *Controller) ResetWindowStats() {
+	for i := range c.servedReads {
+		c.servedReads[i] = 0
+	}
+}
+
+// ResetQuantumStats clears the per-quantum accounting counters.
+func (c *Controller) ResetQuantumStats() {
+	for i := 0; i < c.numApps; i++ {
+		c.queueingCycles[i] = 0
+		c.interfCycles[i] = 0
+		c.readsDone[i] = 0
+		c.latencySum[i] = 0
+		c.rowHits[i] = 0
+	}
+}

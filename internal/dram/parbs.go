@@ -1,0 +1,116 @@
+package dram
+
+import "sort"
+
+// PARBS implements Parallelism-Aware Batch Scheduling (Mutlu & Moscibroda,
+// ISCA 2008). Requests are grouped into batches: when no marked requests
+// remain, the policy marks up to MarkingCap oldest requests per
+// (application, bank) pair. Marked requests are strictly prioritized over
+// unmarked ones (providing starvation freedom), and within a batch
+// applications are ranked shortest-job-first by their maximum marked load
+// on any bank (preserving intra-application bank parallelism). Within the
+// same rank, FR-FCFS order applies.
+type PARBS struct {
+	// MarkingCap is the per-(app,bank) marking limit; the paper uses 5.
+	MarkingCap int
+
+	rank []int // rank[app] = priority, lower value = higher priority
+}
+
+// NewPARBS returns a PARBS policy for numApps applications.
+func NewPARBS(numApps int) *PARBS {
+	return &PARBS{MarkingCap: 5, rank: make([]int, numApps)}
+}
+
+// Name implements Scheduler.
+func (*PARBS) Name() string { return "PARBS" }
+
+// Pick implements Scheduler.
+func (p *PARBS) Pick(c *Controller, now uint64) (*Request, int) {
+	anyMarked := false
+	for _, r := range c.readQ {
+		if r.marked {
+			anyMarked = true
+			break
+		}
+	}
+	if !anyMarked && len(c.readQ) > 0 {
+		p.formBatch(c)
+	}
+
+	var best *Request
+	bestIdx := -1
+	for i, r := range c.readQ {
+		if !c.bankFree(r, now) {
+			continue
+		}
+		if best == nil || p.better(c, r, best) {
+			best, bestIdx = r, i
+		}
+	}
+	return best, bestIdx
+}
+
+// better reports whether a beats b under PARBS ordering.
+func (p *PARBS) better(c *Controller, a, b *Request) bool {
+	if a.marked != b.marked {
+		return a.marked
+	}
+	if a.marked && b.marked && a.App != b.App {
+		ra, rb := p.rankOf(a.App), p.rankOf(b.App)
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return betterFRFCFS(c, a, b)
+}
+
+func (p *PARBS) rankOf(app int) int {
+	if app < len(p.rank) {
+		return p.rank[app]
+	}
+	return len(p.rank)
+}
+
+// formBatch marks up to MarkingCap oldest requests per (app, bank) and
+// recomputes application ranks by max-bank-load (shortest job first).
+func (p *PARBS) formBatch(c *Controller) {
+	type key struct{ app, bank int }
+	counts := make(map[key]int)
+	// The queue is age-ordered, so a single pass marks the oldest first.
+	loads := make(map[key]int)
+	totals := make([]int, len(p.rank))
+	for _, r := range c.readQ {
+		k := key{r.App, r.bank}
+		if counts[k] >= p.MarkingCap {
+			continue
+		}
+		counts[k]++
+		r.marked = true
+		loads[k]++
+		if r.App < len(totals) {
+			totals[r.App]++
+		}
+	}
+	maxLoad := make([]int, len(p.rank))
+	for k, n := range loads {
+		if k.app < len(maxLoad) && n > maxLoad[k.app] {
+			maxLoad[k.app] = n
+		}
+	}
+	// Rank apps: lower max-bank-load first, total marked as tie-break.
+	order := make([]int, len(p.rank))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if maxLoad[a] != maxLoad[b] {
+			return maxLoad[a] < maxLoad[b]
+		}
+		return totals[a] < totals[b]
+	})
+	for pos, app := range order {
+		p.rank[app] = pos
+	}
+}

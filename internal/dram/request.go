@@ -1,0 +1,57 @@
+package dram
+
+// Request is one memory transaction (a last-level-cache miss fill or a
+// dirty writeback).
+type Request struct {
+	App      int    // requesting application/core id
+	LineAddr uint64 // 64 B line address (byte address >> 6)
+	Write    bool
+	Prefetch bool
+
+	// Timing bookkeeping (CPU cycles).
+	Enqueue  uint64 // when the request entered the controller
+	Start    uint64 // when its first DRAM command issued
+	Complete uint64 // when the last data beat transferred
+
+	RowHit bool // serviced as a row-buffer hit
+
+	// InterfCycles accumulates the CPU cycles this request spent queued
+	// while its bank or the data bus was occupied by another application.
+	// This is the per-request interference signal the FST/PTCA baselines
+	// (and Figure 6) consume.
+	InterfCycles uint64
+
+	// Done is invoked at completion with the request and the CPU cycle.
+	// It is nil for posted writes.
+	Done func(*Request, uint64)
+
+	bank   int
+	row    uint64
+	marked bool // PARBS batch membership
+}
+
+// Bank returns the bank index this request maps to within its channel.
+func (r *Request) Bank() int { return r.bank }
+
+// Row returns the DRAM row this request maps to.
+func (r *Request) Row() uint64 { return r.row }
+
+// addInterference charges cycles of other-application occupancy to this
+// request.
+func (r *Request) addInterference(cycles uint64) { r.InterfCycles += cycles }
+
+// QueueLatency returns the CPU cycles the request waited before service.
+func (r *Request) QueueLatency() uint64 {
+	if r.Start < r.Enqueue {
+		return 0
+	}
+	return r.Start - r.Enqueue
+}
+
+// TotalLatency returns the CPU cycles from enqueue to completion.
+func (r *Request) TotalLatency() uint64 {
+	if r.Complete < r.Enqueue {
+		return 0
+	}
+	return r.Complete - r.Enqueue
+}

@@ -1,0 +1,56 @@
+package dram
+
+// Scheduler is a memory scheduling policy. Each DRAM cycle the controller
+// asks the policy to pick one request from the read queue among those whose
+// bank is currently free. Pick returns the chosen request and its index in
+// the queue, or (nil, -1) when nothing is serviceable.
+//
+// The controller applies the epoch highest-priority overlay *before*
+// consulting the policy, so policies never see priority epochs.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Pick chooses the next read to service.
+	Pick(c *Controller, now uint64) (*Request, int)
+}
+
+// betterFRFCFS reports whether a should be preferred over b under FR-FCFS:
+// demand requests before prefetches (prefetches fill otherwise-idle
+// slots), then row-buffer hits to maximize throughput, then oldest-first.
+func betterFRFCFS(c *Controller, a, b *Request) bool {
+	if a.Prefetch != b.Prefetch {
+		return !a.Prefetch
+	}
+	ah, bh := c.rowHit(a), c.rowHit(b)
+	if ah != bh {
+		return ah
+	}
+	return a.Enqueue < b.Enqueue
+}
+
+// FRFCFS is the baseline first-ready, first-come-first-served policy
+// (Rixner et al.; Zuravleff & Robinson): row-buffer hits are prioritized
+// to maximize DRAM throughput, then older requests for forward progress.
+// It is application-unaware.
+type FRFCFS struct{}
+
+// NewFRFCFS returns the FR-FCFS policy.
+func NewFRFCFS() *FRFCFS { return &FRFCFS{} }
+
+// Name implements Scheduler.
+func (*FRFCFS) Name() string { return "FRFCFS" }
+
+// Pick implements Scheduler.
+func (*FRFCFS) Pick(c *Controller, now uint64) (*Request, int) {
+	var best *Request
+	bestIdx := -1
+	for i, r := range c.readQ {
+		if !c.bankFree(r, now) {
+			continue
+		}
+		if best == nil || betterFRFCFS(c, r, best) {
+			best, bestIdx = r, i
+		}
+	}
+	return best, bestIdx
+}

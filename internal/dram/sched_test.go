@@ -1,0 +1,145 @@
+package dram
+
+import "testing"
+
+// parbsSystem builds a 1-channel system with PARBS for n apps.
+func parbsSystem(n int) *System {
+	return NewSystem(DDR31333(), DefaultGeometry(1), n, func(int) Scheduler { return NewPARBS(n) })
+}
+
+func TestPARBSBatchMarking(t *testing.T) {
+	s := parbsSystem(2)
+	c := s.Channels()[0]
+	p := c.Policy().(*PARBS)
+	// 8 requests from app 0 to one bank: only MarkingCap (5) may be
+	// marked per (app, bank) when the batch forms.
+	for i := 0; i < 8; i++ {
+		c.Enqueue(&Request{App: 0, LineAddr: uint64(i)}, 0)
+	}
+	p.formBatch(c)
+	marked := 0
+	for _, r := range c.readQ {
+		if r.marked {
+			marked++
+		}
+	}
+	if marked != p.MarkingCap {
+		t.Fatalf("marked %d, want %d", marked, p.MarkingCap)
+	}
+}
+
+func TestPARBSShortestJobFirst(t *testing.T) {
+	s := parbsSystem(2)
+	c := s.Channels()[0]
+	g := s.Geometry()
+	p := c.Policy().(*PARBS)
+	// App 0 loads one bank heavily; app 1 has a single request. The
+	// batch rank must put app 1 (lighter max-bank-load) first.
+	for i := 0; i < 5; i++ {
+		c.Enqueue(&Request{App: 0, LineAddr: uint64(i * g.LinesPerRow * g.BanksPerChan)}, 0)
+	}
+	c.Enqueue(&Request{App: 1, LineAddr: uint64(100 * g.LinesPerRow * g.BanksPerChan)}, 1)
+	p.formBatch(c)
+	if p.rank[1] >= p.rank[0] {
+		t.Fatalf("light app must rank first: ranks %v", p.rank)
+	}
+}
+
+func TestPARBSServesEveryone(t *testing.T) {
+	s := parbsSystem(4)
+	done := make([]int, 4)
+	for app := 0; app < 4; app++ {
+		for i := 0; i < 10; i++ {
+			a := app
+			s.Enqueue(&Request{App: app, LineAddr: uint64(app*1000 + i),
+				Done: func(r *Request, now uint64) { done[a]++ }}, 0)
+		}
+	}
+	runTicks(s, 0, 200000)
+	for app, n := range done {
+		if n != 10 {
+			t.Fatalf("app %d completed %d/10 (starvation?)", app, n)
+		}
+	}
+}
+
+func TestTCMLatencyClusterPriority(t *testing.T) {
+	s := NewSystem(DDR31333(), DefaultGeometry(1), 2, func(ch int) Scheduler { return NewTCM(2, 1) })
+	c := s.Channels()[0]
+	tcm := c.Policy().(*TCM)
+	// App 0: low intensity (latency-sensitive); app 1: bandwidth hog.
+	tcm.UpdateClustering([]float64{0.5, 50}, []uint64{5, 500})
+	if !tcm.latency[0] || tcm.latency[1] {
+		t.Fatalf("clustering wrong: %v", tcm.latency)
+	}
+	g := s.Geometry()
+	// Saturate with app 1, then one app 0 request: the latency-sensitive
+	// app should finish long before the hog drains.
+	var d0, last1 uint64
+	for i := 0; i < 20; i++ {
+		c.Enqueue(&Request{App: 1, LineAddr: uint64(2 * i * g.LinesPerRow * g.BanksPerChan),
+			Done: func(r *Request, now uint64) { last1 = now }}, 0)
+	}
+	c.Enqueue(&Request{App: 0, LineAddr: uint64(999 * g.LinesPerRow * g.BanksPerChan),
+		Done: func(r *Request, now uint64) { d0 = now }}, 0)
+	runTicks(s, 0, 200000)
+	if d0 == 0 || last1 == 0 {
+		t.Fatal("requests incomplete")
+	}
+	if d0 >= last1 {
+		t.Fatalf("latency-sensitive app done at %d, hog at %d", d0, last1)
+	}
+}
+
+func TestTCMShuffleChangesRanks(t *testing.T) {
+	s := NewSystem(DDR31333(), DefaultGeometry(1), 4, func(ch int) Scheduler { return NewTCM(4, 7) })
+	c := s.Channels()[0]
+	tcm := c.Policy().(*TCM)
+	tcm.UpdateClustering([]float64{50, 50, 50, 50}, []uint64{100, 100, 100, 100})
+	// Keep work flowing so Pick runs across many shuffle intervals.
+	changed := false
+	var first [4]int
+	copy(first[:], tcm.rank)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 4; i++ {
+			c.Enqueue(&Request{App: i, LineAddr: uint64(round*64 + i*16)}, uint64(round*8000))
+		}
+		runTicks(s, uint64(round*8000), uint64(round*8000+7999))
+		var now [4]int
+		copy(now[:], tcm.rank)
+		if now != first {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("TCM ranks never shuffled")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewFRFCFS().Name() != "FRFCFS" || NewPARBS(2).Name() != "PARBS" || NewTCM(2, 1).Name() != "TCM" {
+		t.Fatal("policy names changed")
+	}
+}
+
+func TestRowDisturbanceCharged(t *testing.T) {
+	s := testSystem(2)
+	g := s.Geometry()
+	// App 0 opens row 0, app 1 closes it with a different row, then app 0
+	// returns to row 0: the conflict would have been a hit alone, so the
+	// third request must carry interference charge.
+	var d uint64
+	s.Enqueue(request(0, 0, &d), 0)
+	runTicks(s, 0, 400)
+	s.Enqueue(request(1, uint64(g.LinesPerRow*g.BanksPerChan), &d), 400)
+	runTicks(s, 408, 800)
+	r3 := request(0, 1, &d) // row 0 again
+	s.Enqueue(r3, 800)
+	runTicks(s, 808, 4000)
+	if r3.RowHit {
+		t.Fatal("row should have been closed by app 1")
+	}
+	if r3.InterfCycles == 0 {
+		t.Fatal("row disturbance not charged as interference")
+	}
+}

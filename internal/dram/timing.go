@@ -1,0 +1,102 @@
+// Package dram implements the main-memory substrate of the paper's system:
+// a command-level DDR3 SDRAM model (banks, rows, row-buffer state, data
+// bus), a memory controller with separate read and posted-write queues, a
+// pluggable scheduling policy (FR-FCFS, PARBS, TCM), the epoch
+// highest-priority overlay used by MISE/ASM/ASM-Mem, and the per-request
+// interference accounting that the FST/PTCA baselines consume.
+//
+// The model is deliberately command-level rather than electrically
+// cycle-exact: the interference phenomena the paper studies — bank
+// conflicts, row-buffer locality, bus serialization, and queueing — are all
+// first-class here, with DDR3-1333 10-10-10 latencies.
+package dram
+
+// Timing holds DRAM timing parameters, expressed in DRAM bus cycles, plus
+// the CPU:DRAM clock ratio used to convert to CPU cycles.
+type Timing struct {
+	TRCD   int // ACT to column command
+	TRP    int // PRE to ACT
+	TCL    int // column command to first data
+	TBurst int // data transfer time for one line (BL8, DDR => 4 bus cycles)
+	TRAS   int // ACT to PRE minimum (folded into bank busy time)
+	TWR    int // write recovery (extra bank busy after a write burst)
+
+	// TREFI/TRFC enable periodic refresh when both are non-zero: every
+	// TREFI bus cycles, all banks of a channel are unavailable for TRFC
+	// bus cycles and row buffers close. The paper's evaluation does not
+	// study refresh; DDR31333 leaves it off, DDR31333WithRefresh turns it
+	// on with nominal values (tREFI 7.8us, tRFC ~160ns).
+	TREFI int
+	TRFC  int
+
+	CPUPerDRAM int // CPU cycles per DRAM bus cycle
+}
+
+// RefreshEnabled reports whether periodic refresh is modeled.
+func (t Timing) RefreshEnabled() bool { return t.TREFI > 0 && t.TRFC > 0 }
+
+// DDR31333 returns the paper's DDR3-1333 (10-10-10) timing with a 5.3 GHz
+// CPU clock (Table 2): the 666.7 MHz DRAM bus gives a ratio of 8 CPU
+// cycles per DRAM cycle.
+func DDR31333() Timing {
+	return Timing{
+		TRCD:       10,
+		TRP:        10,
+		TCL:        10,
+		TBurst:     4,
+		TRAS:       24,
+		TWR:        10,
+		CPUPerDRAM: 8,
+	}
+}
+
+// DDR31333WithRefresh returns DDR3-1333 timing with periodic refresh
+// enabled (tREFI = 7.8us = 5200 bus cycles, tRFC = 160ns = 107 cycles).
+func DDR31333WithRefresh() Timing {
+	t := DDR31333()
+	t.TREFI = 5200
+	t.TRFC = 107
+	return t
+}
+
+// RowHitLatency returns the bus cycles from issue to last data beat for a
+// row-buffer hit.
+func (t Timing) RowHitLatency() int { return t.TCL + t.TBurst }
+
+// RowClosedLatency returns the bus cycles for an access to a closed row.
+func (t Timing) RowClosedLatency() int { return t.TRCD + t.TCL + t.TBurst }
+
+// RowConflictLatency returns the bus cycles for a row-buffer conflict.
+func (t Timing) RowConflictLatency() int { return t.TRP + t.TRCD + t.TCL + t.TBurst }
+
+// Geometry describes the DRAM organization (Table 2: 1-4 channels, 1 rank
+// per channel, 8 banks per rank, 8 KB rows, 64 B lines).
+type Geometry struct {
+	Channels     int
+	BanksPerChan int
+	LinesPerRow  int // row size / line size; 8 KB / 64 B = 128
+}
+
+// DefaultGeometry returns the paper's main configuration with the given
+// channel count.
+func DefaultGeometry(channels int) Geometry {
+	if channels <= 0 {
+		channels = 1
+	}
+	return Geometry{Channels: channels, BanksPerChan: 8, LinesPerRow: 128}
+}
+
+// Map decomposes a line address into its channel, bank, and row.
+// The mapping places the column bits lowest (so a sequential stream enjoys
+// row-buffer locality), then channel (fine-grained channel interleaving),
+// then bank, then row.
+func (g Geometry) Map(lineAddr uint64) (channel, bank int, row uint64) {
+	col := lineAddr % uint64(g.LinesPerRow)
+	_ = col
+	x := lineAddr / uint64(g.LinesPerRow)
+	channel = int(x % uint64(g.Channels))
+	x /= uint64(g.Channels)
+	bank = int(x % uint64(g.BanksPerChan))
+	row = x / uint64(g.BanksPerChan)
+	return channel, bank, row
+}

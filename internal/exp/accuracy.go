@@ -1,0 +1,382 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"asmsim/internal/core"
+	"asmsim/internal/model"
+	"asmsim/internal/sim"
+	"asmsim/internal/stats"
+	"asmsim/internal/workload"
+)
+
+// estASM builds the estimator set used by the accuracy experiments.
+func estAll() []core.Estimator {
+	return []core.Estimator{core.NewASM(), model.NewFST(), model.NewPTCA(), model.NewMISE()}
+}
+
+// suitePool returns the SPEC+NAS benchmarks the paper draws workloads from.
+func suitePool() []workload.Spec {
+	pool := workload.SPEC()
+	return append(pool, workload.NAS()...)
+}
+
+// accuracySweep runs the estimator set over all mixes under cfg and
+// returns the pooled samples.
+func accuracySweep(cfg sim.Config, mixes []workload.Mix, sc Scale) ([]Sample, error) {
+	results := make([][]Sample, len(mixes))
+	err := forEach(len(mixes), func(i int) error {
+		c := cfg
+		c.Seed = sc.Seed + uint64(i)*1000
+		s, err := RunAccuracy(c, mixes[i], estAll, sc)
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", mixes[i], err)
+		}
+		results[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Sample
+	for _, s := range results {
+		all = append(all, s...)
+	}
+	return all, nil
+}
+
+// perBenchTable renders a Figure 2/3-style table: per-benchmark error for
+// each estimator, sorted suite-then-intensity like the paper's x-axis,
+// with suite and overall averages.
+func perBenchTable(id, title string, samples []Sample, estimators []string) *Table {
+	t := &Table{ID: id, Title: title, Header: append([]string{"benchmark"}, estimators...)}
+	order := map[string]int{}
+	for i, s := range append(workload.SPEC(), workload.NAS()...) {
+		order[s.Name] = i
+	}
+	byBench := map[string]bool{}
+	for _, s := range samples {
+		byBench[s.Bench] = true
+	}
+	names := make([]string, 0, len(byBench))
+	for n := range byBench {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+
+	errsFor := func(est string) map[string][]float64 { return ErrorsByBench(samples, est) }
+	perEst := map[string]map[string][]float64{}
+	for _, e := range estimators {
+		perEst[e] = errsFor(e)
+	}
+	for _, n := range names {
+		row := []string{n}
+		for _, e := range estimators {
+			row = append(row, pct(stats.Mean(perEst[e][n])))
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"AVERAGE"}
+	for _, e := range estimators {
+		avg = append(avg, pct(MeanError(samples, e)))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// runFig2 reproduces Figure 2: slowdown estimation accuracy with no ATS
+// sampling (and an equal-overhead pollution filter for FST).
+func runFig2(sc Scale) (*Table, error) {
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 0
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+	samples, err := accuracySweep(cfg, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := perBenchTable("fig2", "Slowdown estimation error, unsampled ATS (Figure 2)",
+		samples, []string{"FST", "PTCA", "ASM"})
+	t.AddNote("paper averages: FST 18.5%%, PTCA 14.7%%, ASM 9.0%%")
+	return t, nil
+}
+
+// runFig3 reproduces Figure 3: accuracy with a 64-set sampled ATS and an
+// equal-size pollution filter.
+func runFig3(sc Scale) (*Table, error) {
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+	samples, err := accuracySweep(cfg, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := perBenchTable("fig3", "Slowdown estimation error, sampled ATS 64 sets (Figure 3)",
+		samples, []string{"FST", "PTCA", "ASM"})
+	t.AddNote("paper averages: FST 29.4%%, PTCA 40.4%%, ASM 9.9%%")
+	return t, nil
+}
+
+// runFig4 reproduces Figure 4: the distribution of estimation error, with
+// FST/PTCA unsampled and ASM sampled, as in the paper.
+func runFig4(sc Scale) (*Table, error) {
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+
+	unsampled := sc.BaseConfig()
+	unsampled.ATSSampledSets = 0
+	su, err := accuracySweep(unsampled, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	sampled := sc.BaseConfig()
+	sampled.ATSSampledSets = 64
+	ss, err := accuracySweep(sampled, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	hist := func(samples []Sample, est string) (*stats.Histogram, float64) {
+		h := stats.NewHistogram(0, 10, 10) // 0-100% in 10% buckets
+		maxErr := 0.0
+		for _, s := range samples {
+			e := s.Error(est)
+			h.Add(e)
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		return h, maxErr
+	}
+	hFST, mFST := hist(su, "FST")
+	hPTCA, mPTCA := hist(su, "PTCA")
+	hASM, mASM := hist(ss, "ASM")
+
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Distribution of slowdown estimation error (Figure 4)",
+		Header: []string{"error range", "FST", "PTCA", "ASM"},
+	}
+	for i := 0; i < 10; i++ {
+		t.AddRow(hFST.BucketLabel(i)+"%",
+			pct(100*hFST.Fractions()[i]), pct(100*hPTCA.Fractions()[i]), pct(100*hASM.Fractions()[i]))
+	}
+	within20 := func(h *stats.Histogram) float64 {
+		fr := h.Fractions()
+		return 100 * (fr[0] + fr[1])
+	}
+	t.AddRow("<=20%", pct(within20(hFST)), pct(within20(hPTCA)), pct(within20(hASM)))
+	t.AddRow("max error", pct(mFST), pct(mPTCA), pct(mASM))
+	t.AddNote("paper: 76.25%%/79.25%%/95.25%% of FST/PTCA/ASM estimates within 20%%; max errors 133%%/87%%/36%%")
+	return t, nil
+}
+
+// runFig5 reproduces Figure 5: accuracy with a stride prefetcher (degree
+// 4, distance 24), unsampled structures.
+func runFig5(sc Scale) (*Table, error) {
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 0
+	cfg.Prefetch = true
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+	samples, err := accuracySweep(cfg, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Estimation error with prefetching (Figure 5)",
+		Header: []string{"model", "avg error", "std dev"},
+	}
+	for _, e := range []string{"FST", "PTCA", "ASM"} {
+		var errs []float64
+		for _, s := range samples {
+			errs = append(errs, s.Error(e))
+		}
+		t.AddRow(e, pct(stats.Mean(errs)), pct(stats.Std(errs)))
+	}
+	t.AddNote("paper: FST 20%%, PTCA 15%%, ASM 7.5%%")
+	return t, nil
+}
+
+// runDBAcc reproduces the Section 6 text experiment on database
+// workloads (TPC-C, YCSB): FST/PTCA unsampled, ASM sampled.
+func runDBAcc(sc Scale) (*Table, error) {
+	mixes := workload.RandomMixes(workload.DB(), 4, sc.Workloads, sc.Seed)
+
+	unsampled := sc.BaseConfig()
+	unsampled.ATSSampledSets = 0
+	su, err := accuracySweep(unsampled, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	sampled := sc.BaseConfig()
+	sampled.ATSSampledSets = 64
+	ss, err := accuracySweep(sampled, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "dbacc",
+		Title:  "Accuracy on database workloads (Section 6 text)",
+		Header: []string{"model", "avg error"},
+	}
+	t.AddRow("FST (unsampled)", pct(MeanError(su, "FST")))
+	t.AddRow("PTCA (unsampled)", pct(MeanError(su, "PTCA")))
+	t.AddRow("ASM (sampled)", pct(MeanError(ss, "ASM")))
+	t.AddNote("paper: FST 27%%, PTCA 12%%, ASM 4%%")
+	return t, nil
+}
+
+// runFig7 reproduces Figure 7: error vs core count (4/8/16), FST/PTCA
+// unsampled and ASM sampled as in the paper's sensitivity studies.
+func runFig7(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Estimation error vs core count (Figure 7)",
+		Header: []string{"cores", "FST", "FST std", "PTCA", "PTCA std", "ASM", "ASM std"},
+	}
+	for _, cores := range []int{4, 8, 16} {
+		n := scaledWorkloads(sc, cores)
+		mixes := workload.RandomMixes(suitePool(), cores, n, sc.Seed+uint64(cores))
+		sc := scaleQuantumForCores(sc, cores)
+
+		unsampled := sc.BaseConfig()
+		unsampled.ATSSampledSets = 0
+		su, err := accuracySweep(unsampled, mixes, sc)
+		if err != nil {
+			return nil, err
+		}
+		sampled := sc.BaseConfig()
+		sampled.ATSSampledSets = 64
+		ss, err := accuracySweep(sampled, mixes, sc)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(cores)}
+		for _, pair := range []struct {
+			est     string
+			samples []Sample
+		}{{"FST", su}, {"PTCA", su}, {"ASM", ss}} {
+			var errs []float64
+			for _, s := range pair.samples {
+				errs = append(errs, s.Error(pair.est))
+			}
+			row = append(row, pct(stats.Mean(errs)), pct(stats.Std(errs)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: error grows with core count for all models; ASM stays lowest with the smallest spread")
+	return t, nil
+}
+
+// runFig8 reproduces Figure 8: error vs shared cache capacity (1/2/4 MB).
+func runFig8(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Estimation error vs cache size (Figure 8)",
+		Header: []string{"cache", "FST", "PTCA", "ASM"},
+	}
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+	for _, mbytes := range []int{1, 2, 4} {
+		unsampled := sc.BaseConfig()
+		unsampled.L2Bytes = mbytes << 20
+		unsampled.ATSSampledSets = 0
+		su, err := accuracySweep(unsampled, mixes, sc)
+		if err != nil {
+			return nil, err
+		}
+		sampled := unsampled
+		sampled.ATSSampledSets = 64
+		ss, err := accuracySweep(sampled, mixes, sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dMB", mbytes),
+			pct(MeanError(su, "FST")), pct(MeanError(su, "PTCA")), pct(MeanError(ss, "ASM")))
+	}
+	t.AddNote("paper: ASM significantly more accurate across all cache capacities")
+	return t, nil
+}
+
+// runTab3 reproduces Table 3: ASM error sensitivity to quantum and epoch
+// lengths. Quick scale shrinks the quantum values proportionally (the
+// trend is governed by the epoch count Q/E); full scale uses the paper's.
+func runTab3(sc Scale) (*Table, error) {
+	quanta := []uint64{1_000_000, 5_000_000, 10_000_000}
+	if sc.Quantum < 5_000_000 {
+		quanta = []uint64{500_000, 1_000_000, 2_000_000}
+	}
+	epochs := []uint64{1_000, 10_000, 50_000, 100_000}
+
+	t := &Table{
+		ID:     "tab3",
+		Title:  "ASM error vs quantum and epoch lengths (Table 3)",
+		Header: []string{"quantum\\epoch", "1000", "10000", "50000", "100000"},
+	}
+	nmix := sc.Workloads
+	if nmix > 4 {
+		nmix = 4 // 12-cell grid: bound the quick-mode cost
+	}
+	mixes := workload.RandomMixes(suitePool(), 4, nmix, sc.Seed)
+	for _, q := range quanta {
+		row := []string{fmt.Sprint(q)}
+		for _, e := range epochs {
+			cfg := sc.BaseConfig()
+			cfg.ATSSampledSets = 64
+			cfg.Quantum = q
+			cfg.Epoch = e
+			// Keep total simulated cycles per workload roughly constant
+			// across cells despite the varying quantum length.
+			cellSc := sc
+			cellSc.Quantum = q
+			cellSc.Epoch = e
+			total := int(uint64(sc.TotalQuanta()) * sc.Quantum / q)
+			if total < 2 {
+				total = 2
+			}
+			cellSc.WarmupQuanta = 1
+			cellSc.MeasuredQuanta = total - 1
+			samples, err := accuracySweep(cfg, mixes, cellSc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(MeanError(samples, "ASM")))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper Table 3: error rises as quantum shrinks or epoch grows (fewer epochs); very short epochs (1000) are worst")
+	return t, nil
+}
+
+// runMISE reproduces the Section 6.4 comparison: epoch-based aggregation
+// alone (MISE, memory-only) vs ASM (memory + cache).
+func runMISE(sc Scale) (*Table, error) {
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
+	samples, err := accuracySweep(cfg, mixes, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "mise",
+		Title:  "Benefit of modeling shared-cache interference (Section 6.4)",
+		Header: []string{"model", "avg error"},
+	}
+	t.AddRow("MISE (memory only)", pct(MeanError(samples, "MISE")))
+	t.AddRow("ASM (memory + cache)", pct(MeanError(samples, "ASM")))
+	t.AddNote("paper: MISE 22%%, ASM 9.9%%")
+	return t, nil
+}
+
+// scaledWorkloads shrinks the workload count for expensive core counts in
+// quick mode while keeping at least two workloads.
+func scaledWorkloads(sc Scale, cores int) int {
+	n := sc.Workloads * 4 / cores
+	if n < 2 {
+		n = 2
+	}
+	if n > sc.Workloads {
+		n = sc.Workloads
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"asmsim/internal/core"
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// Sample is one (application, quantum) accuracy observation: the actual
+// slowdown from the alone-run ground truth and every estimator's estimate.
+type Sample struct {
+	Bench   string
+	App     int
+	Quantum int
+	Actual  float64
+	Est     map[string]float64
+}
+
+// Error returns the paper's error metric for the named estimator on this
+// sample: |estimated - actual| / actual * 100.
+func (s Sample) Error(estimator string) float64 {
+	e, ok := s.Est[estimator]
+	if !ok || s.Actual <= 0 {
+		return 0
+	}
+	d := (e - s.Actual) / s.Actual * 100
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// EstimatorSet builds fresh estimator instances for one workload run
+// (estimators carry per-run state such as previous-quantum fallbacks).
+type EstimatorSet func() []core.Estimator
+
+// RunAccuracy runs one workload mix under cfg, evaluating the estimators
+// against alone-run ground truth, and returns one sample per app per
+// measured quantum.
+func RunAccuracy(cfg sim.Config, mix workload.Mix, newEst EstimatorSet, sc Scale) ([]Sample, error) {
+	specs := mix.Specs()
+	cfg.Cores = len(specs)
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := sim.NewSlowdownTracker(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	ests := newEst()
+	var samples []Sample
+	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
+		actual := tracker.ActualSlowdowns(st)
+		estimates := make(map[string][]float64, len(ests))
+		for _, e := range ests {
+			estimates[e.Name()] = e.Estimate(st)
+		}
+		if st.Quantum < sc.WarmupQuanta {
+			return
+		}
+		for a := range specs {
+			s := Sample{
+				Bench:   specs[a].Name,
+				App:     a,
+				Quantum: st.Quantum,
+				Actual:  actual[a],
+				Est:     make(map[string]float64, len(ests)),
+			}
+			for name, v := range estimates {
+				s.Est[name] = v[a]
+			}
+			samples = append(samples, s)
+		}
+	})
+	sys.RunQuanta(sc.TotalQuanta())
+	return samples, nil
+}
+
+// MeanError averages the error of one estimator over samples.
+func MeanError(samples []Sample, estimator string) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s.Error(estimator)
+	}
+	return sum / float64(len(samples))
+}
+
+// ErrorsByBench groups per-sample errors by benchmark name.
+func ErrorsByBench(samples []Sample, estimator string) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, s := range samples {
+		out[s.Bench] = append(out[s.Bench], s.Error(estimator))
+	}
+	return out
+}
+
+// Scheme is one resource-management configuration for the Section 7
+// policy experiments: a config mutation (scheduler, epoch mode, sampling)
+// plus listeners to attach (partitioners, epoch-weight policies).
+type Scheme struct {
+	Name      string
+	Configure func(*sim.Config)
+	Attach    func(*sim.System)
+}
+
+// PolicyOutcome summarizes one workload run under a scheme.
+type PolicyOutcome struct {
+	// AppSlowdowns is each app's actual slowdown over the measured
+	// window (harmonic mean of per-quantum slowdowns, equivalent to
+	// total-shared-time / total-alone-time).
+	AppSlowdowns []float64
+	// MaxSlowdown is the unfairness metric (Section 7.1.2).
+	MaxSlowdown float64
+	// HarmonicSpeedup is the system-performance metric.
+	HarmonicSpeedup float64
+}
+
+// RunPolicy runs one workload mix under a scheme and measures actual
+// slowdowns against the alone-run ground truth.
+func RunPolicy(cfg sim.Config, mix workload.Mix, scheme Scheme, sc Scale) (PolicyOutcome, error) {
+	specs := mix.Specs()
+	cfg.Cores = len(specs)
+	if scheme.Configure != nil {
+		scheme.Configure(&cfg)
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	if scheme.Attach != nil {
+		scheme.Attach(sys)
+	}
+	// Ground truth always uses the unmanaged baseline system: the alone
+	// run has the full cache and all bandwidth regardless of policy.
+	base := cfg
+	base.EpochPriority = false
+	base.Epoch = 0
+	base.Policy = sim.PolicyFRFCFS
+	tracker, err := sim.NewSlowdownTracker(base, specs)
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	n := len(specs)
+	invSum := make([]float64, n) // sum of 1/slowdown per quantum
+	count := 0
+	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
+		actual := tracker.ActualSlowdowns(st)
+		if st.Quantum < sc.WarmupQuanta {
+			return
+		}
+		count++
+		for a, sd := range actual {
+			invSum[a] += 1 / sd
+		}
+	})
+	sys.RunQuanta(sc.TotalQuanta())
+	if count == 0 {
+		return PolicyOutcome{}, fmt.Errorf("exp: no measured quanta")
+	}
+	out := PolicyOutcome{AppSlowdowns: make([]float64, n)}
+	for a := range out.AppSlowdowns {
+		out.AppSlowdowns[a] = float64(count) / invSum[a]
+	}
+	out.MaxSlowdown = maxOf(out.AppSlowdowns)
+	out.HarmonicSpeedup = harmonicSpeedup(out.AppSlowdowns)
+	return out, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func harmonicSpeedup(slowdowns []float64) float64 {
+	sum := 0.0
+	for _, s := range slowdowns {
+		sum += s
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(slowdowns)) / sum
+}
+
+// forEach runs fn for every index in [0, n) on up to GOMAXPROCS workers
+// and returns the first error. Experiments use it to fan independent
+// workload simulations across cores.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				failed := err != nil
+				mu.Unlock()
+				if failed || i >= n {
+					return
+				}
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

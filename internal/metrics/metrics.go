@@ -1,0 +1,69 @@
+// Package metrics implements the system-level performance and fairness
+// metrics used throughout the paper's evaluation (Section 5 and Section 7):
+// slowdown, slowdown-estimation error, harmonic speedup, weighted speedup,
+// and maximum slowdown (the unfairness metric).
+package metrics
+
+import "asmsim/internal/stats"
+
+// Slowdown returns aloneTime/sharedTime expressed via IPCs:
+// slowdown = IPC_alone / IPC_shared. It returns 1 when either IPC is
+// non-positive, which only happens for an app that retired no instructions.
+func Slowdown(ipcAlone, ipcShared float64) float64 {
+	if ipcAlone <= 0 || ipcShared <= 0 {
+		return 1
+	}
+	return ipcAlone / ipcShared
+}
+
+// Error returns the paper's slowdown-estimation error in percent:
+// |estimated - actual| / actual * 100 (Section 5, "Metrics").
+func Error(estimated, actual float64) float64 {
+	if actual <= 0 {
+		return 0
+	}
+	e := (estimated - actual) / actual * 100
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// Speedup returns IPC_shared / IPC_alone for one app (the reciprocal of
+// its slowdown).
+func Speedup(ipcAlone, ipcShared float64) float64 {
+	s := Slowdown(ipcAlone, ipcShared)
+	if s <= 0 {
+		return 1
+	}
+	return 1 / s
+}
+
+// HarmonicSpeedup returns the harmonic mean of per-app speedups, the
+// system-performance metric used in Section 7 (Eyerman & Eeckhout).
+func HarmonicSpeedup(slowdowns []float64) float64 {
+	sp := make([]float64, 0, len(slowdowns))
+	for _, s := range slowdowns {
+		if s > 0 {
+			sp = append(sp, 1/s)
+		}
+	}
+	return stats.HarmonicMean(sp)
+}
+
+// WeightedSpeedup returns the sum of per-app speedups.
+func WeightedSpeedup(slowdowns []float64) float64 {
+	ws := 0.0
+	for _, s := range slowdowns {
+		if s > 0 {
+			ws += 1 / s
+		}
+	}
+	return ws
+}
+
+// MaxSlowdown returns the maximum slowdown in a workload, the unfairness
+// metric used in Section 7 (lower is fairer).
+func MaxSlowdown(slowdowns []float64) float64 {
+	return stats.Max(slowdowns)
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlowdown(t *testing.T) {
+	if s := Slowdown(2.0, 1.0); s != 2 {
+		t.Fatalf("got %v", s)
+	}
+	if s := Slowdown(0, 1); s != 1 {
+		t.Fatalf("degenerate alone IPC: got %v", s)
+	}
+	if s := Slowdown(1, 0); s != 1 {
+		t.Fatalf("degenerate shared IPC: got %v", s)
+	}
+}
+
+func TestErrorMetric(t *testing.T) {
+	// Section 5: |estimated - actual| / actual * 100.
+	if e := Error(1.1, 1.0); math.Abs(e-10) > 1e-9 {
+		t.Fatalf("got %v", e)
+	}
+	if e := Error(0.9, 1.0); math.Abs(e-10) > 1e-9 {
+		t.Fatalf("absolute value: got %v", e)
+	}
+	if e := Error(5, 0); e != 0 {
+		t.Fatalf("zero actual: got %v", e)
+	}
+}
+
+func TestErrorNonNegative(t *testing.T) {
+	err := quick.Check(func(est, act float64) bool {
+		if math.IsNaN(est) || math.IsNaN(act) || math.IsInf(est, 0) || math.IsInf(act, 0) {
+			return true
+		}
+		return Error(est, act) >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupIsReciprocal(t *testing.T) {
+	if s := Speedup(2, 1); math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("got %v", s)
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	// Two apps slowed by 2x each: every speedup is 0.5.
+	hs := HarmonicSpeedup([]float64{2, 2})
+	if math.Abs(hs-0.5) > 1e-9 {
+		t.Fatalf("got %v", hs)
+	}
+	// No slowdown at all: harmonic speedup 1.
+	if hs := HarmonicSpeedup([]float64{1, 1, 1}); math.Abs(hs-1) > 1e-9 {
+		t.Fatalf("got %v", hs)
+	}
+}
+
+func TestHarmonicSpeedupPenalizesOutliers(t *testing.T) {
+	balanced := HarmonicSpeedup([]float64{2, 2})
+	skewed := HarmonicSpeedup([]float64{1, 8})
+	if skewed >= balanced {
+		t.Fatalf("harmonic mean must penalize the straggler: %v vs %v", skewed, balanced)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2, 4})
+	if math.Abs(ws-(1+0.5+0.25)) > 1e-9 {
+		t.Fatalf("got %v", ws)
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	if m := MaxSlowdown([]float64{1.5, 3.7, 2.0}); m != 3.7 {
+		t.Fatalf("got %v", m)
+	}
+	if m := MaxSlowdown(nil); m != 0 {
+		t.Fatalf("empty: got %v", m)
+	}
+}

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"asmsim/internal/sim"
+)
+
+// fixture builds a 1-app QuantumStats (Q = 1M, E = 10K).
+func fixture() *sim.QuantumStats {
+	st := &sim.QuantumStats{
+		Cycles:       1_000_000,
+		EpochLen:     10_000,
+		L2HitLatency: 20,
+		ATSScale:     1,
+		L2Ways:       16,
+		Apps:         make([]sim.AppQuantum, 1),
+	}
+	st.Apps[0].Retired = 500_000
+	return st
+}
+
+func TestFSTNoExcessNoSlowdown(t *testing.T) {
+	if got := NewFST().Estimate(fixture())[0]; got != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFSTExcessFormula(t *testing.T) {
+	st := fixture()
+	st.Apps[0].MemInterfCycles = 500_000
+	// slowdown = Q / (Q - excess) = 2.
+	if got := NewFST().Estimate(st)[0]; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestFSTCacheExcessMLPScaled(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.PFContentionExtra = 400_000
+	a.MLPIntegral = 400_000 // avg MLP 2 over 200K miss cycles
+	a.QuantumMissTime = 200_000
+	// cacheExcess = 400K/2 = 200K => slowdown = 1M/800K = 1.25.
+	if got := NewFST().Estimate(st)[0]; math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("got %v, want 1.25", got)
+	}
+}
+
+func TestPTCASamplingScale(t *testing.T) {
+	// The same sampled contention evidence scaled by ATSScale: with
+	// scale 32, 10K measured excess cycles become 320K.
+	st := fixture()
+	st.ATSScale = 32
+	st.Apps[0].ATSContentionExtra = 10_000
+	got := NewPTCA().Estimate(st)[0]
+	want := 1_000_000.0 / (1_000_000 - 320_000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExcessSlowdownClamps(t *testing.T) {
+	if got := excessSlowdown(100, 99.9); got > 50 {
+		t.Fatalf("runaway excess must clamp to 50, got %v", got)
+	}
+	if got := excessSlowdown(100, -5); got != 1 {
+		t.Fatalf("negative excess: got %v", got)
+	}
+	if got := excessSlowdown(100, 200); got != 50 {
+		t.Fatalf("excess beyond shared time must clamp, got %v", got)
+	}
+}
+
+func TestSTFMMemoryOnly(t *testing.T) {
+	st := fixture()
+	st.Apps[0].MemInterfCycles = 250_000
+	st.Apps[0].PFContentionExtra = 999_999 // STFM must ignore cache signals
+	got := NewSTFM().Estimate(st)[0]
+	want := 1_000_000.0 / 750_000
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMISEMemoryBound(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.EpochCount = 100
+	a.EpochMisses = 1_000 // RSR_alone = 1000/1M
+	a.L2Misses = 500      // RSR_shared = 500/1M => ratio 2
+	a.MemStallCycles = 1_000_000
+	got := NewMISE().Estimate(st)[0]
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("fully memory-bound: got %v, want 2", got)
+	}
+}
+
+func TestMISEAlphaInterpolation(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.EpochCount = 100
+	a.EpochMisses = 1_000
+	a.L2Misses = 500
+	a.MemStallCycles = 500_000 // alpha = 0.5
+	got := NewMISE().Estimate(st)[0]
+	// 1 - 0.5 + 0.5*2 = 1.5.
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("got %v, want 1.5", got)
+	}
+}
+
+func TestMISEQueueingCorrection(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.EpochCount = 100
+	a.EpochMisses = 1_000
+	a.L2Misses = 1_000
+	a.MemStallCycles = 1_000_000
+	a.QueueingCycles = 500_000
+	got := NewMISE().Estimate(st)[0]
+	// RSR_alone = 1000/500K, RSR_shared = 1000/1M => 2.
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestMISEFallback(t *testing.T) {
+	m := NewMISE()
+	st := fixture()
+	a := &st.Apps[0]
+	a.EpochCount = 100
+	a.EpochMisses = 1_000
+	a.L2Misses = 500
+	a.MemStallCycles = 1_000_000
+	first := m.Estimate(st)[0]
+	// No epochs next quantum: reuse.
+	st2 := fixture()
+	st2.Apps[0].L2Misses = 500
+	if got := m.Estimate(st2)[0]; got != first {
+		t.Fatalf("fallback %v, want %v", got, first)
+	}
+}
+
+func TestAllEstimatorsNamed(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if e.Name() == "" || names[e.Name()] {
+			t.Fatalf("bad or duplicate estimator name %q", e.Name())
+		}
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"ASM", "FST", "PTCA", "MISE", "STFM"} {
+		if !names[want] {
+			t.Fatalf("missing estimator %s", want)
+		}
+	}
+}
+
+func TestEstimatesWithinBounds(t *testing.T) {
+	st := fixture()
+	a := &st.Apps[0]
+	a.MemInterfCycles = 2_000_000 // more than the quantum: must clamp
+	a.PFContentionExtra = 5_000_000
+	a.ATSContentionExtra = 5_000_000
+	for _, e := range All() {
+		for _, v := range e.Estimate(st) {
+			if v < 1 || v > 50 || math.IsNaN(v) {
+				t.Fatalf("%s produced %v", e.Name(), v)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"asmsim/internal/sim"
+)
+
+// regrQuantum builds a 1-app quantum with the given miss rate, IPC and
+// alone (ATS) miss rate.
+func regrQuantum(missRate, ipc, aloneMissRate float64) *sim.QuantumStats {
+	st := fixture()
+	a := &st.Apps[0]
+	a.L2Accesses = 10_000
+	a.L2Misses = uint64(missRate * 10_000)
+	a.L2Hits = a.L2Accesses - a.L2Misses
+	a.Retired = uint64(ipc * float64(st.Cycles))
+	a.ATSProbes = 10_000
+	a.ATSHits = uint64((1 - aloneMissRate) * 10_000)
+	return st
+}
+
+func TestRegressionLearnsLinearRelation(t *testing.T) {
+	// Ground truth in this fixture: IPC = 2 - 2*missRate. The app's alone
+	// miss rate is 0.1 (alone IPC 1.8).
+	m := NewRegression()
+	var last float64
+	for _, pt := range []struct{ mr, ipc float64 }{
+		{0.5, 1.0}, {0.6, 0.8}, {0.4, 1.2}, {0.55, 0.9},
+	} {
+		last = m.Estimate(regrQuantum(pt.mr, pt.ipc, 0.1))[0]
+	}
+	// Final quantum: missRate 0.55, IPC 0.9, predicted alone IPC
+	// 2 - 2*0.1 = 1.8 => slowdown 2.0.
+	if math.Abs(last-2.0) > 0.05 {
+		t.Fatalf("learned slowdown %v, want ~2.0", last)
+	}
+}
+
+func TestRegressionFirstQuantumFallback(t *testing.T) {
+	// With a single observation there is no slope; the model falls back
+	// to the miss-rate ratio.
+	m := NewRegression()
+	got := m.Estimate(regrQuantum(0.5, 1.0, 0.25))[0]
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("ratio fallback %v, want 2.0", got)
+	}
+}
+
+func TestRegressionIdleAppReusesPrevious(t *testing.T) {
+	m := NewRegression()
+	first := m.Estimate(regrQuantum(0.5, 1.0, 0.25))[0]
+	idle := fixture() // zero accesses
+	if got := m.Estimate(idle)[0]; got != first {
+		t.Fatalf("idle fallback %v, want %v", got, first)
+	}
+}
+
+func TestRegressionBlindToMemoryInterference(t *testing.T) {
+	// The defining flaw: two quanta with identical miss rates and IPCs
+	// but wildly different memory interference produce identical
+	// estimates.
+	mk := func(interf float64) float64 {
+		m := NewRegression()
+		m.Estimate(regrQuantum(0.5, 1.0, 0.1))
+		st := regrQuantum(0.5, 1.0, 0.1)
+		st.Apps[0].MemInterfCycles = interf
+		return m.Estimate(st)[0]
+	}
+	if mk(0) != mk(500_000) {
+		t.Fatal("regression model should not react to memory interference counters")
+	}
+}
+
+func TestRegressionBounded(t *testing.T) {
+	m := NewRegression()
+	// Degenerate observations must stay within the estimator bounds.
+	for i := 0; i < 5; i++ {
+		for _, v := range m.Estimate(regrQuantum(0.001, 3.0, 0.9)) {
+			if v < 1 || v > 50 || math.IsNaN(v) {
+				t.Fatalf("estimate %v out of bounds", v)
+			}
+		}
+	}
+}
+
+func TestRegressionName(t *testing.T) {
+	if NewRegression().Name() != "REGR" {
+		t.Fatal("name changed")
+	}
+}

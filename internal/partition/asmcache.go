@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"asmsim/internal/core"
+	"asmsim/internal/sim"
+)
+
+// ASMCache implements the paper's slowdown-aware cache partitioning
+// (Section 7.1): ASM's CAR_n model predicts each app's slowdown under
+// every candidate way allocation, and UCP's lookahead algorithm then
+// assigns ways by *marginal slowdown utility* — the decrease in slowdown
+// per extra way — instead of miss counts.
+type ASMCache struct {
+	asm *core.ASM
+	// prevCurves holds the last valid slowdown curve per app, reused when
+	// a quantum provides no signal (phase stability, Section 3.1).
+	prevCurves [][]float64
+}
+
+// NewASMCache returns the ASM-Cache policy backed by the given ASM model
+// instance (shared with other consumers of the estimates, e.g. ASM-Mem in
+// the coordinated scheme).
+func NewASMCache(asm *core.ASM) *ASMCache {
+	if asm == nil {
+		asm = core.NewASM()
+	}
+	return &ASMCache{asm: asm}
+}
+
+// Name implements Partitioner.
+func (*ASMCache) Name() string { return "ASM-Cache" }
+
+// Allocate implements Partitioner.
+func (p *ASMCache) Allocate(st *sim.QuantumStats) []int {
+	n := st.NumApps()
+	if len(p.prevCurves) != n {
+		p.prevCurves = make([][]float64, n)
+	}
+	curves := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		sd, ok := core.SlowdownCurve(p.asm, st, a)
+		if !ok {
+			sd = p.prevCurves[a]
+		} else {
+			p.prevCurves[a] = sd
+		}
+		curves[a] = utilityFromSlowdowns(sd, st.L2Ways)
+	}
+	return lookahead(curves, st.L2Ways, n)
+}
+
+// utilityFromSlowdowns converts a slowdown-at-n-ways curve (index n-1)
+// into the non-decreasing utility curve the lookahead allocator consumes:
+// utility(n) = slowdown(1) - slowdown(n), so marginal utility equals the
+// paper's Slowdown-Utility (slowdown_n - slowdown_{n+k})/k.
+func utilityFromSlowdowns(sd []float64, ways int) []float64 {
+	curve := make([]float64, ways+1)
+	if len(sd) == 0 {
+		return curve // app without signal: flat utility
+	}
+	base := sd[0]
+	for n := 1; n <= ways; n++ {
+		idx := n - 1
+		if idx >= len(sd) {
+			idx = len(sd) - 1
+		}
+		curve[n] = base - sd[idx]
+	}
+	// Enforce monotonicity: noise can make slowdown_n increase with n;
+	// the allocator requires non-decreasing utility.
+	for n := 1; n <= ways; n++ {
+		if curve[n] < curve[n-1] {
+			curve[n] = curve[n-1]
+		}
+	}
+	return curve
+}

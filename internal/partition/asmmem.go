@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"asmsim/internal/core"
+	"asmsim/internal/sim"
+)
+
+// ASMMem implements the paper's slowdown-aware memory bandwidth
+// partitioning (Section 7.2): at each quantum boundary the probability of
+// assigning an epoch to application A_i becomes
+//
+//	P(A_i) = slowdown(A_i) / sum_k slowdown(A_k)
+//
+// so more-slowed-down applications receive proportionally more
+// highest-priority epochs at the memory controller.
+//
+// One implementation detail stabilizes the feedback loop at our quantum
+// lengths: estimates are smoothed across quanta (EWMA) before being used
+// as weights, so a single noisy quantum does not swing the allocation.
+type ASMMem struct {
+	asm    *core.ASM
+	smooth []float64
+}
+
+// NewASMMem returns the ASM-Mem policy backed by the given ASM model
+// instance (nil creates a private one).
+func NewASMMem(asm *core.ASM) *ASMMem {
+	if asm == nil {
+		asm = core.NewASM()
+	}
+	return &ASMMem{asm: asm}
+}
+
+// Name identifies the policy.
+func (*ASMMem) Name() string { return "ASM-Mem" }
+
+// Weights returns the epoch-assignment weights for the next quantum.
+func (m *ASMMem) Weights(st *sim.QuantumStats) []float64 {
+	est := m.asm.Estimate(st)
+	if len(m.smooth) != len(est) {
+		m.smooth = append([]float64(nil), est...)
+	}
+	w := make([]float64, len(est))
+	for i, s := range est {
+		m.smooth[i] = 0.5*m.smooth[i] + 0.5*s
+		w[i] = m.smooth[i] // the paper's proportional rule
+		if w[i] < 1 {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// WeightsFrom converts externally computed slowdown estimates into epoch
+// weights; the coordinated ASM-Cache-Mem scheme uses this to forward the
+// cache policy's post-allocation slowdowns to the memory controller
+// (Section 7.2.2).
+func WeightsFrom(slowdowns []float64) []float64 {
+	w := make([]float64, len(slowdowns))
+	for i, s := range slowdowns {
+		if s < 1 {
+			s = 1
+		}
+		w[i] = s
+	}
+	return w
+}
+
+// Listener returns a quantum listener that applies ASM-Mem to sys.
+func (m *ASMMem) Listener() sim.QuantumListener {
+	return func(s *sim.System, st *sim.QuantumStats) {
+		s.SetEpochWeights(m.Weights(st))
+	}
+}
+
+// ASMCacheMem is the coordinated scheme of Section 7.2.2: ASM-Cache
+// partitions the shared cache, and the slowdown estimates corresponding
+// to each app's allocation are conveyed to the memory controller, which
+// partitions bandwidth with ASM-Mem's probability rule.
+type ASMCacheMem struct {
+	asm   *core.ASM
+	cache *ASMCache
+}
+
+// NewASMCacheMem returns the coordinated policy.
+func NewASMCacheMem() *ASMCacheMem {
+	asm := core.NewASM()
+	return &ASMCacheMem{asm: asm, cache: NewASMCache(asm)}
+}
+
+// Name identifies the policy.
+func (*ASMCacheMem) Name() string { return "ASM-Cache-Mem" }
+
+// Listener returns a quantum listener that applies both the cache
+// partition and the slowdown-proportional epoch weights.
+func (cm *ASMCacheMem) Listener() sim.QuantumListener {
+	return func(s *sim.System, st *sim.QuantumStats) {
+		alloc := cm.cache.Allocate(st)
+		s.SetL2Partition(alloc)
+		// Slowdowns under the chosen allocation: evaluate each app's
+		// slowdown curve at its granted way count.
+		sd := make([]float64, st.NumApps())
+		for a := range sd {
+			sd[a] = 1
+			if curve, ok := core.SlowdownCurve(cm.asm, st, a); ok && alloc[a] >= 1 && alloc[a] <= len(curve) {
+				sd[a] = curve[alloc[a]-1]
+			}
+		}
+		s.SetEpochWeights(WeightsFrom(sd))
+	}
+}

@@ -1,0 +1,348 @@
+package partition
+
+import (
+	"testing"
+
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// fixture builds an n-app QuantumStats with a 16-way cache.
+func fixture(n int) *sim.QuantumStats {
+	st := &sim.QuantumStats{
+		Cycles:       1_000_000,
+		EpochLen:     10_000,
+		L2HitLatency: 20,
+		ATSScale:     1,
+		L2Ways:       16,
+		Apps:         make([]sim.AppQuantum, n),
+	}
+	for a := range st.Apps {
+		st.Apps[a].Retired = 100_000
+	}
+	return st
+}
+
+// setCurve gives app a linear way-hit profile with the given per-way hit
+// count and access volume.
+func setCurve(st *sim.QuantumStats, a int, perWay uint64, accesses uint64) {
+	aq := &st.Apps[a]
+	aq.ATSProbes = accesses
+	aq.ATSHitsAtWay = make([]uint64, 16)
+	for p := range aq.ATSHitsAtWay {
+		aq.ATSHitsAtWay[p] = perWay
+	}
+	aq.L2Accesses = accesses
+	aq.L2Hits = accesses / 2
+	aq.L2Misses = accesses - aq.L2Hits
+	aq.QuantumHitTime = aq.L2Hits * 20
+	aq.QuantumMissTime = aq.L2Misses * 150
+	aq.MLPIntegral = aq.QuantumMissTime
+	aq.MissCount = aq.L2Misses
+	aq.MissLatencySum = aq.L2Misses * 150
+}
+
+func TestLookaheadAllocatesAllWays(t *testing.T) {
+	curves := [][]float64{
+		linearCurve(16, 10),
+		linearCurve(16, 1),
+	}
+	alloc := lookahead(curves, 16, 2)
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("allocation %v does not sum to 16", alloc)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("high-utility app must win ways: %v", alloc)
+	}
+	if alloc[1] < 1 {
+		t.Fatalf("every app gets at least one way: %v", alloc)
+	}
+}
+
+func TestLookaheadFlatUtilitySpreads(t *testing.T) {
+	curves := [][]float64{
+		make([]float64, 17),
+		make([]float64, 17),
+	}
+	alloc := lookahead(curves, 16, 2)
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("allocation %v", alloc)
+	}
+}
+
+// linearCurve builds utility[n] = slope*n.
+func linearCurve(ways int, slope float64) []float64 {
+	c := make([]float64, ways+1)
+	for n := 1; n <= ways; n++ {
+		c[n] = slope * float64(n)
+	}
+	return c
+}
+
+func TestLookaheadSaturatingUtility(t *testing.T) {
+	// App 0 gains nothing past 4 ways; app 1 keeps gaining. The spare
+	// capacity must flow to app 1.
+	c0 := make([]float64, 17)
+	for n := 1; n <= 16; n++ {
+		if n <= 4 {
+			c0[n] = float64(n) * 100
+		} else {
+			c0[n] = 400
+		}
+	}
+	curves := [][]float64{c0, linearCurve(16, 10)}
+	alloc := lookahead(curves, 16, 2)
+	if alloc[0] > 5 {
+		t.Fatalf("saturated app got %d ways", alloc[0])
+	}
+	if alloc[1] < 11 {
+		t.Fatalf("growing app got %d ways", alloc[1])
+	}
+}
+
+func TestUCPFavorsCacheSensitiveApp(t *testing.T) {
+	st := fixture(2)
+	setCurve(st, 0, 600, 10_000) // strong reuse: many hits per way
+	setCurve(st, 1, 10, 10_000)  // streaming: nearly no reuse
+	alloc := NewUCP().Allocate(st)
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("allocation %v", alloc)
+	}
+	if alloc[0] < 10 {
+		t.Fatalf("cache-sensitive app got only %d ways: %v", alloc[0], alloc)
+	}
+}
+
+func TestMCFQCapsUnfriendlyApp(t *testing.T) {
+	st := fixture(2)
+	setCurve(st, 0, 600, 10_000)
+	// App 1: almost zero reuse even with the full cache => unfriendly.
+	aq := &st.Apps[1]
+	aq.ATSProbes = 10_000
+	aq.ATSHits = 100 // 1% < threshold
+	aq.ATSHitsAtWay = make([]uint64, 16)
+	aq.ATSHitsAtWay[0] = 100
+	aq.L2Accesses = 10_000
+	aq.L2Misses = 9_900
+	aq.L2Hits = 100
+	alloc := NewMCFQ().Allocate(st)
+	if alloc[1] != 1 {
+		t.Fatalf("unfriendly app must be capped at 1 way, got %d (%v)", alloc[1], alloc)
+	}
+	if alloc[0] != 15 {
+		t.Fatalf("friendly app should take the rest: %v", alloc)
+	}
+}
+
+func TestMCFQNames(t *testing.T) {
+	if NewUCP().Name() != "UCP" || NewMCFQ().Name() != "MCFQ" ||
+		NewASMCache(nil).Name() != "ASM-Cache" || (&ASMQoS{}).Name() != "ASM-QoS" ||
+		NewNaiveQoS(0).Name() != "Naive-QoS" {
+		t.Fatal("policy names changed")
+	}
+}
+
+func TestUtilityFromSlowdowns(t *testing.T) {
+	sd := []float64{4, 3, 2, 1.5}
+	curve := utilityFromSlowdowns(sd, 4)
+	// utility(n) = sd[0] - sd[n-1].
+	want := []float64{0, 0, 1, 2, 2.5}
+	for i, w := range want {
+		if curve[i] != w {
+			t.Fatalf("curve %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestUtilityFromSlowdownsMonotone(t *testing.T) {
+	// Noisy non-monotone slowdowns must still produce non-decreasing
+	// utility.
+	sd := []float64{3, 2, 2.5, 1.8}
+	curve := utilityFromSlowdowns(sd, 4)
+	for n := 1; n < len(curve); n++ {
+		if curve[n] < curve[n-1] {
+			t.Fatalf("utility decreased: %v", curve)
+		}
+	}
+}
+
+func TestUtilityFromSlowdownsEmpty(t *testing.T) {
+	curve := utilityFromSlowdowns(nil, 4)
+	for _, v := range curve {
+		if v != 0 {
+			t.Fatalf("no-signal curve must be flat: %v", curve)
+		}
+	}
+}
+
+func TestNaiveQoSAllocation(t *testing.T) {
+	st := fixture(4)
+	alloc := NewNaiveQoS(2).Allocate(st)
+	if alloc[2] != 13 {
+		t.Fatalf("target got %d ways, want 13", alloc[2])
+	}
+	for a, w := range alloc {
+		if a != 2 && w != 1 {
+			t.Fatalf("co-runner %d got %d ways", a, w)
+		}
+	}
+}
+
+func TestASMQoSGrantsMinimalWays(t *testing.T) {
+	st := fixture(2)
+	// Target app 0: strong epoch signal with a steep slowdown curve.
+	aq := &st.Apps[0]
+	aq.EpochCount = 100
+	aq.EpochAccesses, aq.EpochHits, aq.EpochMisses = 10_000, 8_000, 2_000
+	aq.EpochATSProbes, aq.EpochATSHits = 10_000, 8_000
+	aq.EpochHitTime, aq.EpochMissTime = 160_000, 300_000
+	setCurve(st, 0, 500, 10_000)
+	aq.QuantumHitTime, aq.QuantumMissTime = 160_000, 300_000
+
+	setCurve(st, 1, 300, 10_000)
+	st.Apps[1].EpochCount = 100
+	st.Apps[1].EpochAccesses, st.Apps[1].EpochHits, st.Apps[1].EpochMisses = 10_000, 5_000, 5_000
+	st.Apps[1].EpochATSProbes, st.Apps[1].EpochATSHits = 10_000, 8_000
+	st.Apps[1].EpochHitTime, st.Apps[1].EpochMissTime = 100_000, 750_000
+
+	loose := NewASMQoS(0, 10.0).Allocate(st) // trivially satisfiable bound
+	tight := NewASMQoS(0, 1.01).Allocate(st) // almost unsatisfiable
+	if loose[0] > tight[0] {
+		t.Fatalf("looser bound must not need more ways: %v vs %v", loose[0], tight[0])
+	}
+	if loose[0]+loose[1] != 16 || tight[0]+tight[1] != 16 {
+		t.Fatalf("allocations must use the whole cache: %v %v", loose, tight)
+	}
+	if loose[1] < 1 || tight[1] < 1 {
+		t.Fatal("co-runner starved")
+	}
+}
+
+func TestWeightsFrom(t *testing.T) {
+	w := WeightsFrom([]float64{2, 0.5, 3})
+	if w[0] != 2 || w[1] != 1 || w[2] != 3 {
+		t.Fatalf("weights %v", w)
+	}
+}
+
+func TestASMCacheAllocateSumsToWays(t *testing.T) {
+	st := fixture(2)
+	for a := 0; a < 2; a++ {
+		aq := &st.Apps[a]
+		aq.EpochCount = 100
+		aq.EpochAccesses, aq.EpochHits, aq.EpochMisses = 10_000, 5_000, 5_000
+		aq.EpochATSProbes, aq.EpochATSHits = 10_000, 8_000
+		aq.EpochHitTime, aq.EpochMissTime = 100_000, 750_000
+		setCurve(st, a, uint64(100*(a+1)), 10_000)
+		aq.QuantumHitTime, aq.QuantumMissTime = 100_000, 750_000
+	}
+	alloc := NewASMCache(nil).Allocate(st)
+	sum := 0
+	for _, w := range alloc {
+		sum += w
+	}
+	if sum != 16 {
+		t.Fatalf("allocation %v sums to %d", alloc, sum)
+	}
+}
+
+// asmMemFixture builds a 2-app QuantumStats where app 1 is clearly more
+// slowed than app 0.
+func asmMemFixture() *sim.QuantumStats {
+	st := fixture(2)
+	for a := 0; a < 2; a++ {
+		aq := &st.Apps[a]
+		aq.EpochCount = 100
+		aq.EpochAccesses, aq.EpochHits, aq.EpochMisses = 10_000, 5_000, 5_000
+		aq.EpochATSProbes, aq.EpochATSHits = 10_000, 5_000
+		aq.EpochHitTime = 100_000
+		setCurve(st, a, 300, 10_000)
+	}
+	// App 0 serves its epoch requests quickly; app 1's misses crawl and
+	// it suffers heavy residual queueing (high slowdown).
+	st.Apps[0].EpochMissTime = 300_000
+	st.Apps[1].EpochMissTime = 900_000
+	st.Apps[1].QueueingCycles = 400_000
+	return st
+}
+
+func TestASMMemWeightsFavorSlowedApp(t *testing.T) {
+	m := NewASMMem(nil)
+	w := m.Weights(asmMemFixture())
+	if len(w) != 2 {
+		t.Fatalf("%d weights", len(w))
+	}
+	if w[1] <= w[0] {
+		t.Fatalf("more-slowed app must weigh more: %v", w)
+	}
+	for _, x := range w {
+		if x < 1 {
+			t.Fatalf("weights must be at least 1: %v", w)
+		}
+	}
+}
+
+func TestASMMemWeightsSmoothed(t *testing.T) {
+	m := NewASMMem(nil)
+	first := m.Weights(asmMemFixture())
+	// A second quantum with identical counters: EWMA converges toward the
+	// same value, so weights must not oscillate.
+	second := m.Weights(asmMemFixture())
+	for i := range first {
+		diff := second[i] - first[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.5*first[i] {
+			t.Fatalf("weights jumped: %v -> %v", first, second)
+		}
+	}
+}
+
+func TestASMMemListenerAppliesWeights(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Quantum = 100_000
+	cfg.Cores = 2
+	cfg.ATSSampledSets = 64
+	specs := make([]workload.Spec, 0, 2)
+	for _, n := range []string{"mcf", "h264ref"} {
+		s, ok := workload.ByName(n)
+		if !ok {
+			t.Fatal(n)
+		}
+		specs = append(specs, s)
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddQuantumListener(NewASMMem(nil).Listener())
+	sys.RunQuanta(3) // must run without panicking on weight application
+	if sys.Retired(0) == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestASMCacheMemListener(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Quantum = 100_000
+	cfg.Cores = 2
+	cfg.ATSSampledSets = 64
+	specs := make([]workload.Spec, 0, 2)
+	for _, n := range []string{"bzip2", "libquantum"} {
+		s, ok := workload.ByName(n)
+		if !ok {
+			t.Fatal(n)
+		}
+		specs = append(specs, s)
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddQuantumListener(NewASMCacheMem().Listener())
+	sys.RunQuanta(3)
+	if sys.L2Partition() == nil {
+		t.Fatal("coordinated scheme never installed a partition")
+	}
+}

@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"asmsim/internal/core"
+	"asmsim/internal/sim"
+)
+
+// ASMQoS implements the soft slowdown guarantee scheme of Section 7.3:
+// the target application is given *just enough* cache ways that its
+// predicted slowdown stays within Bound, and the remaining ways are
+// distributed among the other applications by marginal slowdown utility
+// (minimizing their slowdowns) instead of being wasted.
+type ASMQoS struct {
+	// Target is the application of interest.
+	Target int
+	// Bound is the slowdown bound to enforce (e.g., 2.5 for ASM-QoS-2.5).
+	Bound float64
+
+	asm        *core.ASM
+	prevCurves [][]float64
+}
+
+// NewASMQoS returns an ASM-QoS policy for the target app and bound.
+func NewASMQoS(target int, bound float64) *ASMQoS {
+	return &ASMQoS{Target: target, Bound: bound, asm: core.NewASM()}
+}
+
+// Name implements Partitioner.
+func (*ASMQoS) Name() string { return "ASM-QoS" }
+
+// Allocate implements Partitioner.
+func (p *ASMQoS) Allocate(st *sim.QuantumStats) []int {
+	n := st.NumApps()
+	ways := st.L2Ways
+	if len(p.prevCurves) != n {
+		p.prevCurves = make([][]float64, n)
+	}
+	curves := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		sd, ok := core.SlowdownCurve(p.asm, st, a)
+		if !ok {
+			sd = p.prevCurves[a]
+		} else {
+			p.prevCurves[a] = sd
+		}
+		curves[a] = sd
+	}
+
+	// Smallest allocation meeting the bound for the target; others need at
+	// least one way each. The bound is discounted by a safety margin
+	// because the CAR_n prediction carries ~10% error (Section 6) and the
+	// guarantee is soft: undershooting slightly beats violating it.
+	const safety = 0.9
+	maxTarget := ways - (n - 1)
+	grant := maxTarget
+	if sd := curves[p.Target]; len(sd) > 0 {
+		for nw := 1; nw <= maxTarget; nw++ {
+			idx := nw - 1
+			if idx >= len(sd) {
+				idx = len(sd) - 1
+			}
+			if sd[idx] <= p.Bound*safety {
+				grant = nw
+				break
+			}
+		}
+	}
+
+	// Distribute the rest among the other apps by slowdown utility.
+	rest := make([][]float64, 0, n-1)
+	idx := make([]int, 0, n-1)
+	for a := 0; a < n; a++ {
+		if a == p.Target {
+			continue
+		}
+		restWays := ways - grant
+		curve := utilityFromSlowdowns(curves[a], restWays)
+		rest = append(rest, curve)
+		idx = append(idx, a)
+	}
+	subAlloc := lookahead(rest, ways-grant, len(rest))
+
+	alloc := make([]int, n)
+	alloc[p.Target] = grant
+	for i, a := range idx {
+		alloc[a] = subAlloc[i]
+	}
+	return alloc
+}
+
+// NaiveQoS is the strawman of Figure 11: unaware of slowdowns, it gives
+// the target application every way it can (minimizing the target's
+// slowdown) and leaves one way for each other application.
+type NaiveQoS struct {
+	// Target is the application of interest.
+	Target int
+}
+
+// NewNaiveQoS returns the naive policy for the target app.
+func NewNaiveQoS(target int) *NaiveQoS { return &NaiveQoS{Target: target} }
+
+// Name implements Partitioner.
+func (*NaiveQoS) Name() string { return "Naive-QoS" }
+
+// Allocate implements Partitioner.
+func (p *NaiveQoS) Allocate(st *sim.QuantumStats) []int {
+	n := st.NumApps()
+	alloc := make([]int, n)
+	for a := range alloc {
+		alloc[a] = 1
+	}
+	alloc[p.Target] = st.L2Ways - (n - 1)
+	return alloc
+}
+
+// Listener adapts any Partitioner into a quantum listener applying its
+// allocation to the system.
+func Listener(p Partitioner) sim.QuantumListener {
+	return func(s *sim.System, st *sim.QuantumStats) {
+		s.SetL2Partition(p.Allocate(st))
+	}
+}

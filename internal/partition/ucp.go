@@ -1,0 +1,109 @@
+// Package partition implements the shared-resource management policies of
+// Section 7: the paper's slowdown-aware schemes (ASM-Cache, ASM-Mem,
+// ASM-Cache-Mem, ASM-QoS) and the prior-work baselines they are compared
+// against (Utility-based Cache Partitioning and MCFQ).
+//
+// All cache policies produce a way allocation per quantum via the common
+// Partitioner interface and are applied by the experiment harness through
+// sim.System.SetL2Partition; bandwidth policies adjust the epoch
+// assignment distribution through sim.System.SetEpochWeights.
+package partition
+
+import "asmsim/internal/sim"
+
+// Partitioner computes a shared-cache way allocation each quantum.
+type Partitioner interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Allocate returns the number of ways for each app for the next
+	// quantum (sums to the cache's associativity).
+	Allocate(st *sim.QuantumStats) []int
+}
+
+// UCP implements Utility-based Cache Partitioning (Qureshi & Patt, MICRO
+// 2006): every app's utility monitor (our auxiliary tag store's LRU
+// stack-position hit profile) yields hits-at-n-ways curves, and the
+// lookahead algorithm greedily assigns ways to the app with the highest
+// marginal miss utility.
+type UCP struct{}
+
+// NewUCP returns the UCP policy.
+func NewUCP() *UCP { return &UCP{} }
+
+// Name implements Partitioner.
+func (*UCP) Name() string { return "UCP" }
+
+// Allocate implements Partitioner.
+func (*UCP) Allocate(st *sim.QuantumStats) []int {
+	n := st.NumApps()
+	curves := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		curves[a] = hitCurve(st, a)
+	}
+	return lookahead(curves, st.L2Ways, n)
+}
+
+// hitCurve returns estimated hits at each allocation 1..ways for app a,
+// scaled from the (possibly sampled) ATS profile to the app's access count.
+func hitCurve(st *sim.QuantumStats, a int) []float64 {
+	aq := &st.Apps[a]
+	ways := st.L2Ways
+	curve := make([]float64, ways+1)
+	if aq.ATSProbes == 0 {
+		return curve
+	}
+	accesses := float64(aq.L2Hits + aq.L2Misses)
+	var cum uint64
+	for p := 0; p < ways; p++ {
+		if p < len(aq.ATSHitsAtWay) {
+			cum += aq.ATSHitsAtWay[p]
+		}
+		curve[p+1] = float64(cum) / float64(aq.ATSProbes) * accesses
+	}
+	return curve
+}
+
+// lookahead is UCP's allocation algorithm: every app starts with one way
+// (the standard minimum), and the remaining ways go, k at a time, to the
+// app with the highest marginal utility (utility gain per way over the
+// best lookahead distance k).
+//
+// curves[a][n] must be non-decreasing in n: the utility an app derives
+// from an allocation of n ways. It is shared by UCP (hits), MCFQ
+// (cost-weighted hits) and ASM-Cache (negated slowdowns).
+func lookahead(curves [][]float64, ways, n int) []int {
+	alloc := make([]int, n)
+	balance := ways
+	for a := 0; a < n && balance > 0; a++ {
+		alloc[a] = 1
+		balance--
+	}
+	for balance > 0 {
+		bestApp, bestK, bestMU := -1, 0, 0.0
+		for a := 0; a < n; a++ {
+			cur := alloc[a]
+			if cur >= ways {
+				continue
+			}
+			for k := 1; k <= balance && cur+k <= ways; k++ {
+				mu := (curves[a][cur+k] - curves[a][cur]) / float64(k)
+				if mu > bestMU {
+					bestApp, bestK, bestMU = a, k, mu
+				}
+			}
+		}
+		if bestApp < 0 {
+			// No app gains: spread the slack round-robin.
+			for a := 0; a < n && balance > 0; a++ {
+				if alloc[a] < ways {
+					alloc[a]++
+					balance--
+				}
+			}
+			continue
+		}
+		alloc[bestApp] += bestK
+		balance -= bestK
+	}
+	return alloc
+}

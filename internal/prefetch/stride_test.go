@@ -1,0 +1,97 @@
+package prefetch
+
+import "testing"
+
+func TestDetectsUnitStride(t *testing.T) {
+	s := New()
+	var got []uint64
+	for line := uint64(100); line < 110; line++ {
+		got = s.Observe(line)
+	}
+	if len(got) == 0 {
+		t.Fatal("confirmed unit stride produced no prefetches")
+	}
+	// Degree 4, distance 24 ahead of the trigger line 109.
+	want := uint64(109 + 24)
+	if got[0] != want {
+		t.Fatalf("first prefetch %d, want %d", got[0], want)
+	}
+	if len(got) > s.Degree {
+		t.Fatalf("issued %d > degree %d", len(got), s.Degree)
+	}
+}
+
+func TestNoPrefetchBeforeConfirmation(t *testing.T) {
+	s := New()
+	if out := s.Observe(100); out != nil {
+		t.Fatal("first touch must not prefetch")
+	}
+	if out := s.Observe(101); len(out) != 0 {
+		t.Fatal("single stride observation must not prefetch")
+	}
+}
+
+func TestRandomAccessesQuiet(t *testing.T) {
+	s := New()
+	issued := 0
+	// Far-apart addresses never confirm a stride.
+	for _, line := range []uint64{10, 100000, 5000, 900000, 42, 777777} {
+		issued += len(s.Observe(line))
+	}
+	if issued != 0 {
+		t.Fatalf("random stream triggered %d prefetches", issued)
+	}
+}
+
+func TestLargerStride(t *testing.T) {
+	s := New()
+	var got []uint64
+	for i := uint64(0); i < 10; i++ {
+		got = s.Observe(1000 + i*3)
+	}
+	if len(got) == 0 {
+		t.Fatal("stride-3 stream produced no prefetches")
+	}
+	trigger := uint64(1000 + 9*3)
+	if got[0] != trigger+3*24 {
+		t.Fatalf("prefetch %d, want %d", got[0], trigger+3*24)
+	}
+	if len(got) >= 2 && got[1] != got[0]+3 {
+		t.Fatalf("second prefetch %d, want %d", got[1], got[0]+3)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	s := New()
+	var got []uint64
+	for i := 0; i < 10; i++ {
+		got = s.Observe(uint64(100000 - i))
+	}
+	if len(got) == 0 {
+		t.Fatal("descending stream produced no prefetches")
+	}
+	if got[0] >= 100000 {
+		t.Fatalf("prefetch %d should be below the stream", got[0])
+	}
+}
+
+func TestMultipleConcurrentStreams(t *testing.T) {
+	s := New()
+	issuedA, issuedB := 0, 0
+	for i := uint64(0); i < 20; i++ {
+		issuedA += len(s.Observe(1000 + i))
+		issuedB += len(s.Observe(900000 + i))
+	}
+	if issuedA == 0 || issuedB == 0 {
+		t.Fatalf("interleaved streams not both detected: %d/%d", issuedA, issuedB)
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		if out := s.Observe(42); len(out) != 0 {
+			t.Fatal("repeated same-line accesses must not prefetch")
+		}
+	}
+}

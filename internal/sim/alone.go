@@ -1,0 +1,117 @@
+package sim
+
+import "asmsim/internal/workload"
+
+// AloneProfile computes the ground-truth alone-run cycle counts for one
+// application: the cycles the app needs to retire a given number of
+// instructions when it has the whole system to itself (full shared cache,
+// all memory bandwidth), on the same configuration as the shared run.
+//
+// The paper's accuracy metric (Section 5) computes IPC_alone "for the same
+// amount of work completed ... as that completed in the shared run for
+// each quantum"; AloneProfile provides exactly that by lazily advancing a
+// single-core replica simulation to each instruction milestone. Because
+// workload generators are pure functions of (spec, seed), the replica
+// replays byte-identical work.
+type AloneProfile struct {
+	sys  *System
+	core int
+}
+
+// NewAloneProfile builds the single-core replica for spec under cfg.
+// The replica keeps cfg's cache and memory organization but disables
+// epoch prioritization (meaningless with one app) and uses FR-FCFS.
+func NewAloneProfile(cfg Config, spec workload.Spec) (*AloneProfile, error) {
+	return NewAloneProfileFromSource(cfg, SourcesFromSpecs([]workload.Spec{spec}, cfg.Seed)[0])
+}
+
+// NewAloneProfileFromSource is NewAloneProfile for a custom instruction
+// source (e.g., a recorded trace).
+func NewAloneProfileFromSource(cfg Config, app AppSource) (*AloneProfile, error) {
+	alone := cfg
+	alone.Cores = 1
+	alone.EpochPriority = false
+	alone.Epoch = 0
+	alone.Policy = PolicyFRFCFS
+	sys, err := NewWithSources(alone, []AppSource{app})
+	if err != nil {
+		return nil, err
+	}
+	return &AloneProfile{sys: sys}, nil
+}
+
+// CyclesAt returns the cycle at which the alone run has retired at least
+// instr instructions, advancing the replica as needed. Queries must be
+// non-decreasing across calls (they are: cumulative retired-instruction
+// milestones only grow).
+func (p *AloneProfile) CyclesAt(instr uint64) uint64 {
+	for p.sys.Retired(p.core) < instr {
+		p.sys.Tick()
+	}
+	return p.sys.Cycle()
+}
+
+// System exposes the replica for experiments that need alone-run
+// measurements beyond cycle counts (e.g., Figure 6's actual alone miss
+// service times).
+func (p *AloneProfile) System() *System { return p.sys }
+
+// SlowdownTracker converts a shared run's per-quantum retired-instruction
+// counts into ground-truth slowdowns using one AloneProfile per app.
+type SlowdownTracker struct {
+	profiles  []*AloneProfile
+	lastCycle []uint64 // alone cycles at the previous quantum's milestone
+	total     []uint64 // cumulative shared-run retired instructions
+}
+
+// NewSlowdownTracker builds ground-truth trackers for each spec under cfg.
+func NewSlowdownTracker(cfg Config, specs []workload.Spec) (*SlowdownTracker, error) {
+	return NewSlowdownTrackerFromSources(cfg, SourcesFromSpecs(specs, cfg.Seed))
+}
+
+// NewSlowdownTrackerFromSources is NewSlowdownTracker for custom
+// instruction sources. Duplicate names replay identical streams, but each
+// slot advances to its own milestones, so each keeps its own replica
+// cursor.
+func NewSlowdownTrackerFromSources(cfg Config, apps []AppSource) (*SlowdownTracker, error) {
+	t := &SlowdownTracker{
+		profiles:  make([]*AloneProfile, len(apps)),
+		lastCycle: make([]uint64, len(apps)),
+		total:     make([]uint64, len(apps)),
+	}
+	for i, app := range apps {
+		p, err := NewAloneProfileFromSource(cfg, app)
+		if err != nil {
+			return nil, err
+		}
+		t.profiles[i] = p
+	}
+	return t, nil
+}
+
+// ActualSlowdowns consumes one quantum's stats from the shared run and
+// returns the ground-truth slowdown of every app for that quantum:
+// shared cycles (Q) divided by the alone cycles needed for the same
+// instructions.
+func (t *SlowdownTracker) ActualSlowdowns(st *QuantumStats) []float64 {
+	out := make([]float64, len(t.profiles))
+	for a := range t.profiles {
+		t.total[a] += st.Apps[a].Retired
+		cyc := t.profiles[a].CyclesAt(t.total[a])
+		delta := cyc - t.lastCycle[a]
+		t.lastCycle[a] = cyc
+		if delta == 0 {
+			out[a] = 1
+			continue
+		}
+		sd := float64(st.Cycles) / float64(delta)
+		if sd < 1 {
+			// The shared run can never beat the alone run on identical
+			// work; values below 1 are warm-up artifacts of slightly
+			// different cache states. Clamp as the paper's metric implies.
+			sd = 1
+		}
+		out[a] = sd
+	}
+	return out
+}

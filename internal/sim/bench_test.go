@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"asmsim/internal/workload"
+)
+
+// benchSystem builds a 4-core contended system.
+func benchSystem(b *testing.B, prefetch bool) *System {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Quantum = 100_000
+	cfg.Prefetch = prefetch
+	var specs []workload.Spec
+	for _, n := range []string{"mcf", "libquantum", "bzip2", "h264ref"} {
+		s, ok := workload.ByName(n)
+		if !ok {
+			b.Fatal(n)
+		}
+		specs = append(specs, s)
+	}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkSystemTick measures per-cycle simulation cost for the default
+// 4-core contended system.
+func BenchmarkSystemTick(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Tick()
+	}
+}
+
+// BenchmarkSystemTickPrefetch includes the stride prefetcher.
+func BenchmarkSystemTickPrefetch(b *testing.B) {
+	sys := benchSystem(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Tick()
+	}
+}
+
+// BenchmarkAloneProfile measures the ground-truth replay cost per
+// retired instruction.
+func BenchmarkAloneProfile(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Quantum = 100_000
+	spec, _ := workload.ByName("bzip2")
+	p, err := NewAloneProfile(cfg, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	p.CyclesAt(uint64(b.N))
+}
+
+// BenchmarkGeneratorNext measures instruction synthesis cost.
+func BenchmarkGeneratorNext(b *testing.B) {
+	spec, _ := workload.ByName("mcf")
+	g := workload.NewGenerator(spec, 0, 1)
+	var in workload.Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&in)
+	}
+}

@@ -1,0 +1,701 @@
+package sim
+
+import (
+	"fmt"
+
+	"asmsim/internal/cache"
+	"asmsim/internal/cpu"
+	"asmsim/internal/dram"
+	"asmsim/internal/prefetch"
+	"asmsim/internal/rng"
+	"asmsim/internal/workload"
+)
+
+// noWaiter marks an MSHR waiter that needs no core callback (store misses
+// and merged writes).
+const noWaiter = ^uint64(0)
+
+// missTxn tracks one shared-cache miss from detection to fill.
+type missTxn struct {
+	app      int
+	line     uint64
+	start    uint64 // cycle the miss was detected
+	dirty    bool   // fill L1 line dirty (store miss)
+	pfCont   bool   // pollution filter classified it a contention miss
+	atsCont  bool   // auxiliary tag store classified it a contention miss
+	sampled  bool   // mapped to a sampled ATS set
+	prefetch bool
+	req      dram.Request
+}
+
+// AppSource names one application and builds its instruction stream.
+// New must return a fresh source that replays the identical stream on
+// every call (the alone-run ground truth depends on exact replay); slot is
+// the core the stream will run on and selects its address-space base for
+// generator-backed sources.
+type AppSource struct {
+	Name string
+	New  func(slot int) cpu.InstrSource
+}
+
+// SourcesFromSpecs adapts workload specs into replayable sources.
+func SourcesFromSpecs(specs []workload.Spec, seed uint64) []AppSource {
+	apps := make([]AppSource, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		apps[i] = AppSource{
+			Name: sp.Name,
+			New: func(slot int) cpu.InstrSource {
+				return workload.NewGenerator(sp, slot, seed)
+			},
+		}
+	}
+	return apps
+}
+
+// QuantumListener is invoked at the end of every quantum with that
+// quantum's snapshot.
+type QuantumListener func(s *System, st *QuantumStats)
+
+// MissEvent describes one completed demand miss for observers.
+type MissEvent struct {
+	App           int
+	Latency       uint64 // detection-to-fill service time in cycles
+	InterfCycles  uint64 // per-request attributed interference cycles
+	Sampled       bool   // mapped to a sampled auxiliary-tag-store set
+	PFContention  bool   // FST's pollution filter called it a contention miss
+	ATSContention bool   // the auxiliary tag store called it a contention miss
+}
+
+// MissListener observes every completed demand miss (used by the Figure 6
+// latency-distribution experiment).
+type MissListener func(ev MissEvent)
+
+// System is one simulated machine running one application per core.
+type System struct {
+	cfg   Config
+	apps  []AppSource
+	cycle uint64
+
+	cores []*cpu.Core
+
+	l1     []*cache.Cache
+	l1mshr []*cache.MSHR
+	l2     *cache.Cache
+	ats    []*cache.AuxTagStore
+	pf     []*cache.PollutionFilter
+	pref   []*prefetch.Stride
+
+	mem *dram.System
+
+	// Epoch machinery (Section 4.2).
+	epochOwner   int
+	epochWeights []float64
+	epochRnd     *rng.Stream
+
+	// Live per-app outstanding transaction counts.
+	outHits []int
+	outMiss []int
+
+	// Quantum accumulators.
+	qs           QuantumStats
+	prevRetired  []uint64
+	prevMemStall []uint64
+	quantum      int
+
+	retryQ     []*missTxn
+	pendingWB  []uint64 // line addresses of writebacks awaiting queue space
+	events     eventHeap
+	inFlightPf map[uint64]bool
+	pfLines    map[uint64]bool // prefetched, not yet referenced lines
+
+	listeners    []QuantumListener
+	missListener MissListener
+
+	totalEpochs uint64
+}
+
+// New builds a system running the given application specs (one per core).
+func New(cfg Config, specs []workload.Spec) (*System, error) {
+	if len(specs) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d specs for %d cores", len(specs), cfg.Cores)
+	}
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return NewWithSources(cfg, SourcesFromSpecs(specs, cfg.Seed))
+}
+
+// NewWithSources builds a system from custom instruction sources (e.g.,
+// recorded traces via internal/trace). Sources must replay identically on
+// every New call for the alone-run ground truth to be exact.
+func NewWithSources(cfg Config, apps []AppSource) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(apps) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(apps), cfg.Cores)
+	}
+	n := cfg.Cores
+	s := &System{
+		cfg:          cfg,
+		apps:         append([]AppSource(nil), apps...),
+		epochOwner:   -1,
+		epochRnd:     rng.NewNamed(cfg.Seed, "epochs"),
+		outHits:      make([]int, n),
+		outMiss:      make([]int, n),
+		prevRetired:  make([]uint64, n),
+		prevMemStall: make([]uint64, n),
+		inFlightPf:   make(map[uint64]bool),
+		pfLines:      make(map[uint64]bool),
+	}
+	s.l2 = cache.New(cfg.L2Sets(), cfg.L2Ways, n)
+
+	sampled := cfg.ATSSampledSets
+	if sampled <= 0 {
+		sampled = cfg.L2Sets()
+	}
+	filterBits := sampled * cfg.L2Ways * 32 // 4 bytes per ATS entry, matched budget
+	for i := 0; i < n; i++ {
+		src := apps[i].New(i)
+		s.l1 = append(s.l1, cache.New(cfg.L1Sets(), cfg.L1Ways, n))
+		s.l1mshr = append(s.l1mshr, cache.NewMSHR(cfg.MSHRs))
+		s.ats = append(s.ats, cache.NewAuxTagStore(cfg.L2Sets(), cfg.L2Ways, sampled))
+		s.pf = append(s.pf, cache.NewPollutionFilter(filterBits, 4))
+		s.cores = append(s.cores, cpu.New(i, src, s, cfg.WindowSize, cfg.IssueWidth))
+		if cfg.Prefetch {
+			s.pref = append(s.pref, prefetch.New())
+		}
+	}
+
+	s.mem = dram.NewSystem(cfg.timing(), dram.DefaultGeometry(cfg.Channels), n, s.policyFactory())
+
+	s.epochWeights = make([]float64, n)
+	for i := range s.epochWeights {
+		s.epochWeights[i] = 1
+	}
+	s.resetQuantumStats()
+	return s, nil
+}
+
+// policyFactory builds the configured scheduling policy per channel.
+func (s *System) policyFactory() dram.PolicyFactory {
+	return func(ch int) dram.Scheduler {
+		switch s.cfg.Policy {
+		case PolicyPARBS:
+			return dram.NewPARBS(s.cfg.Cores)
+		case PolicyTCM:
+			return dram.NewTCM(s.cfg.Cores, s.cfg.Seed+uint64(ch))
+		default:
+			return dram.NewFRFCFS()
+		}
+	}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Names returns the application names, one per core.
+func (s *System) Names() []string {
+	out := make([]string, len(s.apps))
+	for i, a := range s.apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Cycle returns the current cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// QuantumIndex returns the number of completed quanta.
+func (s *System) QuantumIndex() int { return s.quantum }
+
+// EpochOwner returns the app currently holding highest priority at the
+// memory controller, or -1 when epoch priority is off.
+func (s *System) EpochOwner() int { return s.epochOwner }
+
+// Retired returns app's cumulative retired instruction count.
+func (s *System) Retired(app int) uint64 { return s.cores[app].Retired() }
+
+// ForcedWakes sums the cores' sleep-failsafe counters; a healthy run
+// reports (near) zero.
+func (s *System) ForcedWakes() uint64 {
+	var n uint64
+	for _, c := range s.cores {
+		n += c.ForcedWakes()
+	}
+	return n
+}
+
+// Mem returns the memory system (read-only use by experiments).
+func (s *System) Mem() *dram.System { return s.mem }
+
+// L2 returns the shared cache (read-only use by experiments and tests).
+func (s *System) L2() *cache.Cache { return s.l2 }
+
+// ATS returns app's auxiliary tag store.
+func (s *System) ATS(app int) *cache.AuxTagStore { return s.ats[app] }
+
+// AddQuantumListener registers fn to run at every quantum boundary.
+func (s *System) AddQuantumListener(fn QuantumListener) {
+	s.listeners = append(s.listeners, fn)
+}
+
+// SetMissListener registers the per-miss observer (nil disables).
+func (s *System) SetMissListener(fn MissListener) { s.missListener = fn }
+
+// SetEpochWeights installs the epoch assignment probabilities (ASM-Mem's
+// bandwidth partitioning knob, Section 7.2). The slice is copied.
+func (s *System) SetEpochWeights(w []float64) {
+	if len(w) != s.cfg.Cores {
+		panic("sim: epoch weight count mismatch")
+	}
+	copy(s.epochWeights, w)
+}
+
+// SetL2Partition installs a way partition on the shared cache (nil removes
+// it).
+func (s *System) SetL2Partition(alloc []int) { s.l2.SetPartition(alloc) }
+
+// L2Partition returns the current shared-cache way partition, or nil.
+func (s *System) L2Partition() []int { return s.l2.Partition() }
+
+// Run advances the system by the given number of cycles.
+func (s *System) Run(cycles uint64) {
+	end := s.cycle + cycles
+	for s.cycle < end {
+		s.Tick()
+	}
+}
+
+// RunQuanta advances the system by n quanta.
+func (s *System) RunQuanta(n int) {
+	s.Run(uint64(n) * s.cfg.Quantum)
+}
+
+// Tick advances the system by one CPU cycle.
+func (s *System) Tick() {
+	now := s.cycle
+
+	// Epoch boundary: pick the next owner and prioritize it at memory.
+	if s.cfg.EpochPriority && now%s.cfg.Epoch == 0 {
+		if s.cfg.EpochRoundRobin {
+			s.epochOwner = int(s.totalEpochs % uint64(s.cfg.Cores))
+		} else {
+			s.epochOwner = s.epochRnd.Pick(s.epochWeights)
+		}
+		s.mem.SetPriorityApp(s.epochOwner)
+		s.qs.Apps[s.epochOwner].EpochCount++
+		s.totalEpochs++
+	}
+
+	// Due L2-hit completions.
+	for {
+		e, ok := s.events.popDue(now)
+		if !ok {
+			break
+		}
+		s.completeL2Hit(e.app, e.line, now)
+	}
+
+	// DRAM tick (completions fire miss fills), then retry work that was
+	// blocked on queue space.
+	if now%uint64(s.cfg.timing().CPUPerDRAM) == 0 {
+		s.mem.Tick(now)
+		s.flushWritebacks(now)
+		s.retryMisses(now)
+	}
+
+	for _, c := range s.cores {
+		c.Tick(now)
+	}
+
+	// Per-cycle outstanding-transaction integrals (Table 1 and the
+	// quantum-wide variants ASM-Cache uses).
+	owner := s.epochOwner
+	for a := 0; a < s.cfg.Cores; a++ {
+		aq := &s.qs.Apps[a]
+		if s.outHits[a] > 0 {
+			aq.QuantumHitTime++
+			if a == owner {
+				aq.EpochHitTime++
+			}
+		}
+		if s.outMiss[a] > 0 {
+			aq.QuantumMissTime++
+			aq.MLPIntegral += uint64(s.outMiss[a])
+			if a == owner {
+				aq.EpochMissTime++
+			}
+		}
+	}
+
+	if (now+1)%s.cfg.Quantum == 0 {
+		s.endQuantum(now)
+	}
+	s.cycle++
+}
+
+// Read implements cpu.MemPort for loads.
+func (s *System) Read(app int, addr uint64, token uint64, now uint64) (bool, uint64, bool) {
+	line := addr / workload.LineSize
+	if s.l1[app].Lookup(app, line, false) {
+		return true, uint64(s.cfg.L1Latency), true
+	}
+	if len(s.pendingWB) > 32 {
+		return false, 0, false // backpressure: memory system saturated
+	}
+	m := s.l1mshr[app]
+	if m.Lookup(line) != nil {
+		m.Merge(line, token, false)
+		return false, 0, true
+	}
+	if m.Full() {
+		return false, 0, false
+	}
+	m.Allocate(line, token, false)
+	s.accessL2(app, line, false, now)
+	return false, 0, true
+}
+
+// Write implements cpu.MemPort for stores (posted, write-allocate).
+func (s *System) Write(app int, addr uint64, now uint64) bool {
+	line := addr / workload.LineSize
+	if s.l1[app].Lookup(app, line, true) {
+		return true
+	}
+	if len(s.pendingWB) > 32 {
+		return false
+	}
+	m := s.l1mshr[app]
+	if m.Lookup(line) != nil {
+		return m.Merge(line, noWaiter, true)
+	}
+	if m.Full() {
+		return false
+	}
+	m.Allocate(line, noWaiter, true)
+	s.accessL2(app, line, true, now)
+	return true
+}
+
+// accessL2 performs a demand shared-cache access for an L1 miss.
+func (s *System) accessL2(app int, line uint64, storeMiss bool, now uint64) {
+	aq := &s.qs.Apps[app]
+	aq.L2Accesses++
+	inEpoch := s.epochOwner == app
+	if inEpoch {
+		aq.EpochAccesses++
+	}
+
+	// Auxiliary tag store probe (demand accesses only).
+	sampled, atsHit, _ := s.ats[app].Access(line)
+	if sampled {
+		aq.ATSProbes++
+		if atsHit {
+			aq.ATSHits++
+		}
+		if inEpoch {
+			aq.EpochATSProbes++
+			if atsHit {
+				aq.EpochATSHits++
+			}
+		}
+	}
+
+	// Stride prefetcher observes the demand miss stream into L2.
+	if s.pref != nil {
+		for _, target := range s.pref[app].Observe(line) {
+			s.issuePrefetch(app, target, now)
+		}
+	}
+
+	if s.l2.Lookup(app, line, false) {
+		aq.L2Hits++
+		if inEpoch {
+			aq.EpochHits++
+		}
+		if s.pfLines[line] {
+			delete(s.pfLines, line)
+			aq.PrefetchUseful++
+		}
+		s.outHits[app]++
+		s.events.push(event{cycle: now + uint64(s.cfg.L2Latency), app: int32(app), line: line})
+		return
+	}
+
+	aq.L2Misses++
+	if inEpoch {
+		aq.EpochMisses++
+	}
+	pfCont := s.pf[app].Test(line)
+	if pfCont {
+		s.pf[app].Remove(line) // the line is being refetched
+	}
+	txn := &missTxn{
+		app:     app,
+		line:    line,
+		start:   now,
+		dirty:   storeMiss,
+		pfCont:  pfCont,
+		atsCont: sampled && atsHit,
+		sampled: sampled,
+	}
+	if sampled {
+		aq.SampledDemandMisses++
+	}
+	s.outMiss[app]++
+	s.sendMiss(txn, now)
+}
+
+// sendMiss enqueues the miss at the memory controller, or parks it for
+// retry when the read queue is full.
+func (s *System) sendMiss(txn *missTxn, now uint64) {
+	txn.req = dram.Request{
+		App:      txn.app,
+		LineAddr: txn.line,
+		Prefetch: txn.prefetch,
+		Done: func(r *dram.Request, done uint64) {
+			s.missDone(txn, done)
+		},
+	}
+	if !s.mem.Enqueue(&txn.req, now) {
+		s.retryQ = append(s.retryQ, txn)
+	}
+}
+
+// retryMisses re-attempts parked misses in arrival order.
+func (s *System) retryMisses(now uint64) {
+	if len(s.retryQ) == 0 {
+		return
+	}
+	kept := s.retryQ[:0]
+	for _, txn := range s.retryQ {
+		if !s.mem.Enqueue(&txn.req, now) {
+			kept = append(kept, txn)
+		}
+	}
+	s.retryQ = kept
+}
+
+// missDone handles a completed demand miss: fill L2 and L1, wake waiters,
+// and feed the per-request accounting the baselines rely on.
+func (s *System) missDone(txn *missTxn, now uint64) {
+	app := txn.app
+	aq := &s.qs.Apps[app]
+
+	if txn.prefetch {
+		delete(s.inFlightPf, txn.line)
+		s.insertL2(app, txn.line, false, now)
+		// Mirror the fill into the alone-state directory: the prefetcher
+		// is trained on this app's own stream and would have issued the
+		// same prefetch in the alone run.
+		s.ats[app].Install(txn.line)
+		s.pfLines[txn.line] = true
+		return
+	}
+
+	latency := now - txn.start
+	aq.MissCount++
+	aq.MissLatencySum += latency
+	aq.PerReqInterfSum += txn.req.InterfCycles
+	if txn.sampled {
+		aq.SampledPerReqInterf += txn.req.InterfCycles
+	}
+	// The cache-contention charge is the miss's estimated alone service
+	// cost minus the hit cost: its memory-interference wait is accounted
+	// separately by the per-request memory interference counters, so
+	// charging raw latency here would double-count.
+	aloneLat := float64(latency) - float64(txn.req.InterfCycles)
+	if extra := aloneLat - float64(s.cfg.L2Latency); extra > 0 {
+		if txn.pfCont {
+			aq.PFContentionMisses++
+			aq.PFContentionExtra += extra
+		}
+		if txn.atsCont {
+			aq.ATSContentionMisses++
+			aq.ATSContentionExtra += extra
+		}
+	}
+	if s.missListener != nil {
+		s.missListener(MissEvent{
+			App:           app,
+			Latency:       latency,
+			InterfCycles:  txn.req.InterfCycles,
+			Sampled:       txn.sampled,
+			PFContention:  txn.pfCont,
+			ATSContention: txn.atsCont,
+		})
+	}
+
+	s.insertL2(app, txn.line, false, now)
+	s.outMiss[app]--
+	s.fillL1(app, txn.line, now)
+}
+
+// completeL2Hit finishes an L2 hit transaction.
+func (s *System) completeL2Hit(app int32, line uint64, now uint64) {
+	s.outHits[app]--
+	s.fillL1(int(app), line, now)
+}
+
+// fillL1 installs the line in the requester's L1, handles the dirty
+// victim, and wakes all MSHR waiters.
+func (s *System) fillL1(app int, line uint64, now uint64) {
+	e := s.l1mshr[app].Complete(line)
+	dirty := false
+	if e != nil {
+		dirty = e.Dirty
+	}
+	v := s.l1[app].Insert(app, line, dirty)
+	if v.Valid && v.Dirty {
+		s.writebackToL2(app, v.LineAddr, now)
+	}
+	if e != nil {
+		for _, w := range e.Waiters {
+			if w != noWaiter {
+				s.cores[app].Complete(w, now)
+			}
+		}
+	}
+	// Any fill frees an MSHR and may unblock dependent fetch.
+	s.cores[app].Wake()
+}
+
+// insertL2 installs a line in the shared cache, updating pollution filters
+// for cross-app evictions and writing back dirty victims.
+func (s *System) insertL2(app int, line uint64, dirty bool, now uint64) {
+	v := s.l2.Insert(app, line, dirty)
+	if !v.Valid {
+		return
+	}
+	if int(v.App) != app {
+		// FST's pollution filter: the victim's owner lost this line to
+		// another application.
+		s.pf[v.App].Add(v.LineAddr)
+	}
+	delete(s.pfLines, v.LineAddr)
+	if v.Dirty {
+		s.enqueueWriteback(int(v.App), v.LineAddr, now)
+	}
+}
+
+// writebackToL2 handles a dirty L1 eviction: update the L2 copy if
+// present, else write through to memory (non-inclusive hierarchy).
+func (s *System) writebackToL2(app int, line uint64, now uint64) {
+	s.qs.Apps[app].Writebacks++
+	if s.l2.Lookup(app, line, true) {
+		return
+	}
+	s.enqueueWriteback(app, line, now)
+}
+
+// enqueueWriteback posts a write to memory, parking it when the write
+// queue is full.
+func (s *System) enqueueWriteback(app int, line uint64, now uint64) {
+	r := &dram.Request{App: app, LineAddr: line, Write: true}
+	if !s.mem.Enqueue(r, now) {
+		s.pendingWB = append(s.pendingWB, line|uint64(app)<<56)
+	}
+}
+
+// flushWritebacks retries parked writebacks. When the backlog drains below
+// the backpressure threshold, cores that went to sleep on a rejected
+// access are woken (their wake-up is not tied to a fill).
+func (s *System) flushWritebacks(now uint64) {
+	if len(s.pendingWB) == 0 {
+		return
+	}
+	wasBackpressured := len(s.pendingWB) > 32
+	kept := s.pendingWB[:0]
+	for _, packed := range s.pendingWB {
+		line := packed & ((1 << 56) - 1)
+		app := int(packed >> 56)
+		r := &dram.Request{App: app, LineAddr: line, Write: true}
+		if !s.mem.Enqueue(r, now) {
+			kept = append(kept, packed)
+		}
+	}
+	s.pendingWB = kept
+	if wasBackpressured && len(s.pendingWB) <= 32 {
+		for _, c := range s.cores {
+			c.Wake()
+		}
+	}
+}
+
+// issuePrefetch sends a prefetch for a line into the shared cache.
+func (s *System) issuePrefetch(app int, line uint64, now uint64) {
+	if s.l2.Peek(line) || s.inFlightPf[line] {
+		return
+	}
+	if !s.mem.CanEnqueue(line, false) {
+		return // prefetches are droppable
+	}
+	txn := &missTxn{app: app, line: line, start: now, prefetch: true}
+	s.inFlightPf[line] = true
+	s.qs.Apps[app].PrefetchIssued++
+	s.sendMiss(txn, now)
+}
+
+// endQuantum snapshots the quantum, notifies listeners, and resets the
+// per-quantum state.
+func (s *System) endQuantum(now uint64) {
+	for a := 0; a < s.cfg.Cores; a++ {
+		aq := &s.qs.Apps[a]
+		aq.Retired = s.cores[a].Retired() - s.prevRetired[a]
+		s.prevRetired[a] = s.cores[a].Retired()
+		aq.MemStallCycles = s.cores[a].MemStallCycles() - s.prevMemStall[a]
+		s.prevMemStall[a] = s.cores[a].MemStallCycles()
+		aq.QueueingCycles = s.mem.QueueingCycles(a)
+		aq.MemInterfCycles = s.mem.InterferenceCycles(a)
+		aq.ATSHitsAtWay = s.ats[a].PositionHits()
+	}
+	s.qs.Quantum = s.quantum
+
+	snapshot := s.qs.clone()
+	for _, fn := range s.listeners {
+		fn(s, snapshot)
+	}
+
+	// TCM re-clusters at quantum boundaries using fresh intensity data.
+	if s.cfg.Policy == PolicyTCM {
+		mpki := make([]float64, s.cfg.Cores)
+		for a := range mpki {
+			mpki[a] = s.qs.MPKI(a)
+		}
+		s.mem.UpdateTCM(mpki)
+	}
+
+	s.quantum++
+	s.resetQuantumStats()
+}
+
+// resetQuantumStats clears all per-quantum accumulators.
+func (s *System) resetQuantumStats() {
+	n := s.cfg.Cores
+	sampledSets := s.cfg.ATSSampledSets
+	if sampledSets <= 0 {
+		sampledSets = s.cfg.L2Sets()
+	}
+	s.qs = QuantumStats{
+		Quantum:      s.quantum,
+		Cycles:       s.cfg.Quantum,
+		EpochLen:     s.cfg.Epoch,
+		L2HitLatency: uint64(s.cfg.L2Latency),
+		ATSScale:     float64(s.cfg.L2Sets()) / float64(sampledSets),
+		L2Ways:       s.cfg.L2Ways,
+		Apps:         make([]AppQuantum, n),
+	}
+	for a := 0; a < n; a++ {
+		s.ats[a].ResetStats()
+		// The pollution filter is NOT cleared: FST's design only removes
+		// entries when a line is refetched, so an under-provisioned
+		// filter saturates over time — the source of FST's accuracy loss
+		// under the sampled hardware budget (Figure 3).
+	}
+	s.mem.ResetQuantumStats()
+	clear(s.pfLines)
+}

@@ -1,0 +1,267 @@
+// Package trace records and replays instruction streams in a compact
+// binary format.
+//
+// The paper's substrate consumes Pin traces of real binaries; this package
+// provides the equivalent plumbing for this reproduction: any instruction
+// source (including the synthetic workload generators) can be recorded
+// once and replayed deterministically, and externally produced traces can
+// be converted into the same format to drive the simulator with real
+// workloads.
+//
+// Format (little-endian):
+//
+//	magic   "ASMT"          4 bytes
+//	version byte            currently 1
+//	count   uvarint         number of records
+//	records:
+//	  flags byte            bit0 IsMem, bit1 Write, bit2 DependsOnPrev
+//	  addr  zigzag uvarint  delta from previous memory address (IsMem only)
+//
+// Delta encoding keeps sequential streams near one byte per access.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"asmsim/internal/workload"
+)
+
+const (
+	magic   = "ASMT"
+	version = 1
+)
+
+const (
+	flagMem   = 1 << 0
+	flagWrite = 1 << 1
+	flagDep   = 1 << 2
+)
+
+// Writer streams instructions to an underlying writer. Call Close to
+// finalize (the record count lives in the header, so Writer buffers
+// records and writes everything on Close).
+type Writer struct {
+	w       io.Writer
+	buf     []byte
+	count   uint64
+	prev    uint64
+	scratch [binary.MaxVarintLen64]byte
+	closed  bool
+}
+
+// NewWriter returns a trace writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Append records one instruction.
+func (t *Writer) Append(in workload.Instr) {
+	if t.closed {
+		panic("trace: Append after Close")
+	}
+	var flags byte
+	if in.IsMem {
+		flags |= flagMem
+	}
+	if in.Write {
+		flags |= flagWrite
+	}
+	if in.DependsOnPrev {
+		flags |= flagDep
+	}
+	t.buf = append(t.buf, flags)
+	if in.IsMem {
+		delta := int64(in.Addr) - int64(t.prev)
+		n := binary.PutUvarint(t.scratch[:], zigzag(delta))
+		t.buf = append(t.buf, t.scratch[:n]...)
+		t.prev = in.Addr
+	}
+	t.count++
+}
+
+// Count returns the number of appended records.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close writes the header and all buffered records.
+func (t *Writer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	bw := bufio.NewWriter(t.w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(t.scratch[:], t.count)
+	if _, err := bw.Write(t.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(t.buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Reader decodes a trace sequentially.
+type Reader struct {
+	r     *bufio.Reader
+	left  uint64
+	prev  uint64
+	total uint64
+}
+
+// NewReader validates the header and returns a reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(magic)])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad count: %w", err)
+	}
+	return &Reader{r: br, left: count, total: count}, nil
+}
+
+// Len returns the total number of records in the trace.
+func (t *Reader) Len() uint64 { return t.total }
+
+// Next decodes the next instruction; it returns io.EOF after the last
+// record.
+func (t *Reader) Next(out *workload.Instr) error {
+	if t.left == 0 {
+		return io.EOF
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: truncated record: %w", err)
+	}
+	*out = workload.Instr{
+		IsMem:         flags&flagMem != 0,
+		Write:         flags&flagWrite != 0,
+		DependsOnPrev: flags&flagDep != 0,
+	}
+	if out.IsMem {
+		z, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return fmt.Errorf("trace: truncated address: %w", err)
+		}
+		addr := uint64(int64(t.prev) + unzigzag(z))
+		out.Addr = addr
+		t.prev = addr
+	}
+	t.left--
+	return nil
+}
+
+// ReadAll decodes every record.
+func (t *Reader) ReadAll() ([]workload.Instr, error) {
+	out := make([]workload.Instr, 0, t.left)
+	var in workload.Instr
+	for {
+		err := t.Next(&in)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+}
+
+// Replayer replays a fully decoded trace as a cpu.InstrSource, wrapping
+// around at the end (the paper runs fixed cycle counts, so traces shorter
+// than the run repeat — the wrap count is reported for methodology notes).
+type Replayer struct {
+	instrs []workload.Instr
+	pos    int
+	wraps  int
+}
+
+// NewReplayer wraps a decoded instruction slice. It panics on an empty
+// trace.
+func NewReplayer(instrs []workload.Instr) *Replayer {
+	if len(instrs) == 0 {
+		panic("trace: empty trace")
+	}
+	return &Replayer{instrs: instrs}
+}
+
+// Next implements cpu.InstrSource.
+func (r *Replayer) Next(out *workload.Instr) {
+	*out = r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+		r.wraps++
+	}
+}
+
+// Wraps returns how many times the trace restarted.
+func (r *Replayer) Wraps() int { return r.wraps }
+
+// Len returns the trace length in instructions.
+func (r *Replayer) Len() int { return len(r.instrs) }
+
+// Record captures n instructions from any source into a Writer-compatible
+// slice (convenience for tests and tracegen).
+func Record(src interface{ Next(*workload.Instr) }, n int) []workload.Instr {
+	out := make([]workload.Instr, n)
+	for i := range out {
+		src.Next(&out[i])
+	}
+	return out
+}
+
+// WriteFile records a trace to path.
+func WriteFile(path string, instrs []workload.Instr) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	for _, in := range instrs {
+		w.Append(in)
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile decodes a trace from path.
+func LoadFile(path string) ([]workload.Instr, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}
+
+// zigzag maps signed deltas to unsigned varint-friendly values.
+func zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }

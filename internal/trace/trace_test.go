@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"asmsim/internal/workload"
+)
+
+func sampleInstrs(n int) []workload.Instr {
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		panic("mcf missing")
+	}
+	g := workload.NewGenerator(spec, 0, 7)
+	return Record(g, n)
+}
+
+func TestRoundTrip(t *testing.T) {
+	instrs := sampleInstrs(10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range instrs {
+		w.Append(in)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != uint64(len(instrs)) {
+		t.Fatalf("len %d, want %d", r.Len(), len(instrs))
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(instrs) {
+		t.Fatalf("decoded %d of %d", len(got), len(instrs))
+	}
+	for i := range instrs {
+		if got[i] != instrs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], instrs[i])
+		}
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// A sequential stream should encode near 2 bytes per instruction.
+	spec := workload.Spec{
+		Name: "seq", Suite: workload.SuiteSynthetic, MemFrac: 1, NearFrac: 0.0001,
+		WSS: 1 << 22, Hot: 1 << 20, StreamFrac: 1, StreamDwell: 1, StreamRun: 1 << 16,
+	}
+	g := workload.NewGenerator(spec, 0, 1)
+	instrs := Record(g, 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range instrs {
+		w.Append(in)
+	}
+	w.Close()
+	// Flag byte + 2-byte varint for the 64-byte stride.
+	perInstr := float64(buf.Len()) / float64(len(instrs))
+	if perInstr > 3.2 {
+		t.Fatalf("%.1f bytes/instr for a sequential stream", perInstr)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Right magic, wrong version.
+	if _, err := NewReader(bytes.NewReader([]byte{'A', 'S', 'M', 'T', 99, 0})); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	instrs := sampleInstrs(100)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range instrs {
+		w.Append(in)
+	}
+	w.Close()
+	cut := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err == nil {
+		t.Fatal("truncated trace decoded without error")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(workload.Instr{})
+	w.Close()
+	r, _ := NewReader(&buf)
+	var in workload.Instr
+	if err := r.Next(&in); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Next(&in); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestReplayerWraps(t *testing.T) {
+	instrs := sampleInstrs(10)
+	r := NewReplayer(instrs)
+	var in workload.Instr
+	for i := 0; i < 25; i++ {
+		r.Next(&in)
+		if in != instrs[i%10] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+	if r.Wraps() != 2 {
+		t.Fatalf("wraps %d, want 2", r.Wraps())
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestReplayerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReplayer(nil)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	instrs := sampleInstrs(1000)
+	if err := WriteFile(path, instrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(instrs) {
+		t.Fatalf("decoded %d of %d", len(got), len(instrs))
+	}
+	for i := range instrs {
+		if got[i] != instrs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	err := quick.Check(func(x int64) bool {
+		return unzigzag(zigzag(x)) == x
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterClosePanics(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	w.Append(workload.Instr{})
+}

@@ -1,0 +1,156 @@
+package workload
+
+import "asmsim/internal/rng"
+
+// LineSize is the cache line size in bytes (Table 2).
+const LineSize = 64
+
+// Instr is one instruction of a synthetic stream.
+type Instr struct {
+	// IsMem marks a memory access; non-memory instructions complete in
+	// one cycle once issued.
+	IsMem bool
+	// Addr is the byte address of a memory access.
+	Addr uint64
+	// Write marks a store (stores are posted and never block retirement).
+	Write bool
+	// DependsOnPrev marks a load that cannot issue until the previous
+	// memory access of this app completes (pointer chasing).
+	DependsOnPrev bool
+}
+
+// Generator produces the deterministic instruction stream for one
+// application slot. The stream is a pure function of (spec, slot, seed):
+// two generators constructed with the same arguments yield identical
+// streams instruction-for-instruction, which is what lets the alone-run
+// profiler replay exactly the work the shared run performed.
+type Generator struct {
+	spec Spec
+	rnd  *rng.Stream
+
+	base      uint64 // byte-address base; disjoint per slot
+	wssLines  uint64
+	hotLines  uint64
+	nearLines uint64
+	nearFrac  float64
+	streamPos uint64 // line offset of the stream pointer
+	streamRun int    // lines left in the current stream run
+	runLen    int
+	dwell     int // stream accesses remaining on the current line
+	dwellLen  int
+
+	generated uint64
+}
+
+// nearRegionBytes is the size of the L1-resident near region.
+const nearRegionBytes = 16 * 1024
+
+// defaultNearFrac returns the class default for specs that leave NearFrac
+// unset: lower-intensity applications keep more of their accesses close.
+func defaultNearFrac(c IntensityClass) float64 {
+	switch c {
+	case LowIntensity:
+		return 0.85
+	case MediumIntensity:
+		return 0.80
+	default:
+		return 0.70
+	}
+}
+
+// NewGenerator returns a generator for spec running in application slot
+// (core) slot, derived from the master seed. Slots get disjoint address
+// spaces so co-running apps never share lines (the paper's workloads are
+// independent single-threaded programs).
+func NewGenerator(spec Spec, slot int, seed uint64) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	runLen := spec.StreamRun
+	if runLen <= 0 {
+		runLen = 512
+	}
+	dwellLen := spec.StreamDwell
+	if dwellLen <= 0 {
+		dwellLen = 4
+	}
+	nearFrac := spec.NearFrac
+	if nearFrac == 0 {
+		nearFrac = defaultNearFrac(spec.Class)
+	}
+	g := &Generator{
+		spec:      spec,
+		rnd:       rng.NewNamed(seed, spec.Name),
+		base:      (uint64(slot) + 1) << 40,
+		wssLines:  spec.WSS / LineSize,
+		hotLines:  spec.Hot / LineSize,
+		nearLines: nearRegionBytes / LineSize,
+		nearFrac:  nearFrac,
+		runLen:    runLen,
+		dwellLen:  dwellLen,
+	}
+	if g.wssLines == 0 {
+		g.wssLines = 1
+	}
+	if g.hotLines == 0 {
+		g.hotLines = 1
+	}
+	g.streamPos = g.rnd.Uint64n(g.wssLines)
+	return g
+}
+
+// Spec returns the generator's application spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Generated returns how many instructions have been produced.
+func (g *Generator) Generated() uint64 { return g.generated }
+
+// Next fills in the next instruction of the stream.
+func (g *Generator) Next(out *Instr) {
+	g.generated++
+	if !g.rnd.Bool(g.spec.MemFrac) {
+		*out = Instr{}
+		return
+	}
+	var line uint64
+	far := false
+	if g.rnd.Bool(g.nearFrac) {
+		line = g.rnd.Uint64n(g.nearLines)
+	} else if g.rnd.Bool(g.spec.StreamFrac) {
+		line = g.nextStreamLine()
+	} else if g.rnd.Bool(g.spec.HotFrac) {
+		line = g.rnd.Uint64n(g.hotLines)
+		far = true
+	} else {
+		line = g.rnd.Uint64n(g.wssLines)
+		far = true
+	}
+	write := g.rnd.Bool(g.spec.WriteFrac)
+	// Only far (non-resident, non-stream) loads participate in dependence
+	// chains: pointer chasing happens on the heap, not on locals.
+	dep := far && !write && g.spec.DepFrac > 0 && g.rnd.Bool(g.spec.DepFrac)
+	*out = Instr{
+		IsMem:         true,
+		Addr:          g.base + line*LineSize,
+		Write:         write,
+		DependsOnPrev: dep,
+	}
+}
+
+// nextStreamLine returns the current stream line, advancing to the next
+// line only after dwellLen accesses (word-granularity spatial locality)
+// and jumping to a fresh location when the run is exhausted.
+func (g *Generator) nextStreamLine() uint64 {
+	if g.dwell > 0 {
+		g.dwell--
+		return g.streamPos
+	}
+	g.dwell = g.dwellLen - 1
+	if g.streamRun <= 0 {
+		g.streamPos = g.rnd.Uint64n(g.wssLines)
+		g.streamRun = g.runLen
+	}
+	g.streamPos = (g.streamPos + 1) % g.wssLines
+	g.streamRun--
+	return g.streamPos
+}

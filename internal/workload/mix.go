@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"asmsim/internal/rng"
+)
+
+// Mix is one multiprogrammed workload: the benchmark names running on each
+// core.
+type Mix struct {
+	Names []string
+}
+
+// String renders the mix as "a+b+c+d".
+func (m Mix) String() string {
+	s := ""
+	for i, n := range m.Names {
+		if i > 0 {
+			s += "+"
+		}
+		s += n
+	}
+	return s
+}
+
+// Specs resolves the mix's names. It panics on an unknown name (mixes are
+// only built from the suites in this package).
+func (m Mix) Specs() []Spec {
+	out := make([]Spec, len(m.Names))
+	for i, n := range m.Names {
+		s, ok := ByName(n)
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown benchmark %q", n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// RandomMixes builds count random workloads of n cores each, choosing
+// applications uniformly from pool with varying memory intensity, as in
+// Section 5 ("We construct workloads with varying memory intensity,
+// randomly choosing applications for each workload"). Each mix includes at
+// least one medium-or-higher-intensity app so every workload exhibits
+// measurable contention.
+func RandomMixes(pool []Spec, n, count int, seed uint64) []Mix {
+	if n <= 0 || count <= 0 {
+		panic("workload: RandomMixes needs positive size and count")
+	}
+	rnd := rng.NewNamed(seed, "mixes")
+	mixes := make([]Mix, 0, count)
+	for len(mixes) < count {
+		names := make([]string, n)
+		intense := false
+		for i := range names {
+			s := pool[rnd.Intn(len(pool))]
+			names[i] = s.Name
+			if s.Class != LowIntensity {
+				intense = true
+			}
+		}
+		if !intense {
+			continue // re-roll: an all-low mix has no interference story
+		}
+		mixes = append(mixes, Mix{Names: names})
+	}
+	return mixes
+}
+
+// ClassMixes builds count workloads where each core's app is drawn from a
+// given intensity class (classes[i] constrains core i). It is used by
+// experiments that need controlled intensity composition.
+func ClassMixes(pool []Spec, classes []IntensityClass, count int, seed uint64) []Mix {
+	rnd := rng.NewNamed(seed, "classmixes")
+	byClass := map[IntensityClass][]Spec{}
+	for _, s := range pool {
+		byClass[s.Class] = append(byClass[s.Class], s)
+	}
+	for _, c := range classes {
+		if len(byClass[c]) == 0 {
+			panic(fmt.Sprintf("workload: no benchmarks in class %d", c))
+		}
+	}
+	mixes := make([]Mix, count)
+	for m := range mixes {
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			cand := byClass[c]
+			names[i] = cand[rnd.Intn(len(cand))].Name
+		}
+		mixes[m] = Mix{Names: names}
+	}
+	return mixes
+}
+
+// MemoryIntensiveMixes builds count workloads of n cores drawn only from
+// high-intensity apps (used for the Figure 6 latency-distribution study,
+// which uses "30 of our most memory-intensive workloads").
+func MemoryIntensiveMixes(pool []Spec, n, count int, seed uint64) []Mix {
+	classes := make([]IntensityClass, n)
+	for i := range classes {
+		classes[i] = HighIntensity
+	}
+	return ClassMixes(pool, classes, count, seed)
+}

@@ -1,0 +1,221 @@
+// Package workload synthesizes the instruction streams that drive the
+// simulator. The paper traces SPEC CPU2006, NAS, TPC-C and YCSB binaries
+// with Pin; those traces are proprietary to the authors' infrastructure,
+// so this package substitutes deterministic synthetic streams whose
+// parameters reproduce each benchmark's published memory characterization
+// along the axes that matter to this paper: memory intensity (access
+// frequency x working-set size), cache sensitivity (hot/cold locality
+// against the shared-cache capacity), row-buffer locality (streaming
+// fraction), memory-level parallelism (dependent-load fraction), and write
+// traffic.
+//
+// Streams are pure functions of (spec, app slot, seed), so the alone run
+// and the shared run replay byte-identical work — the property the paper's
+// ground-truth slowdown measurement depends on (Section 5, "Metrics").
+package workload
+
+import "fmt"
+
+// Suite identifies the benchmark family a Spec belongs to.
+type Suite string
+
+// Benchmark suites modeled after the paper's workload sources.
+const (
+	SuiteSPEC      Suite = "spec2006"
+	SuiteNAS       Suite = "nas"
+	SuiteDB        Suite = "db"
+	SuiteSynthetic Suite = "synthetic"
+)
+
+// IntensityClass buckets applications by memory intensity for workload-mix
+// construction (the paper builds mixes "with varying memory intensity").
+type IntensityClass int
+
+// Memory-intensity classes.
+const (
+	LowIntensity IntensityClass = iota
+	MediumIntensity
+	HighIntensity
+)
+
+// Spec parameterizes one synthetic application.
+type Spec struct {
+	Name  string
+	Suite Suite
+
+	// MemFrac is the fraction of instructions that access memory.
+	MemFrac float64
+	// NearFrac is the fraction of memory accesses that touch a small
+	// L1-resident region (registers spilled to stack, locals, hot
+	// globals). It models the temporal locality that keeps most accesses
+	// of real programs out of the shared cache. 0 selects a class default
+	// (see NewGenerator).
+	NearFrac float64
+	// StreamDwell is how many consecutive stream accesses touch the same
+	// line before advancing (word-granularity spatial locality within a
+	// 64 B line). 0 selects the default of 4.
+	StreamDwell int
+	// WSS is the total working-set size in bytes.
+	WSS uint64
+	// Hot is the size in bytes of the hot region that receives HotFrac of
+	// the non-streaming accesses.
+	Hot uint64
+	// HotFrac is the fraction of non-streaming accesses that go to the
+	// hot region.
+	HotFrac float64
+	// StreamFrac is the fraction of memory accesses that belong to
+	// sequential streams (high row-buffer locality, prefetch-friendly).
+	StreamFrac float64
+	// StreamRun is the stream run length in lines before jumping to a new
+	// stream location (0 selects a default of 512).
+	StreamRun int
+	// DepFrac is the fraction of loads that depend on the previous load
+	// (pointer chasing; limits memory-level parallelism).
+	DepFrac float64
+	// WriteFrac is the fraction of memory accesses that are stores.
+	WriteFrac float64
+
+	// Class is the app's memory-intensity bucket.
+	Class IntensityClass
+}
+
+// Validate reports a configuration error in the spec, or nil.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec has no name")
+	case s.MemFrac <= 0 || s.MemFrac > 1:
+		return fmt.Errorf("workload %s: MemFrac %v outside (0,1]", s.Name, s.MemFrac)
+	case s.WSS < 4096:
+		return fmt.Errorf("workload %s: WSS %d too small", s.Name, s.WSS)
+	case s.Hot > s.WSS:
+		return fmt.Errorf("workload %s: hot region exceeds WSS", s.Name)
+	case s.HotFrac < 0 || s.HotFrac > 1,
+		s.StreamFrac < 0 || s.StreamFrac > 1,
+		s.DepFrac < 0 || s.DepFrac > 1,
+		s.WriteFrac < 0 || s.WriteFrac > 1:
+		return fmt.Errorf("workload %s: fraction outside [0,1]", s.Name)
+	}
+	return nil
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// SPEC returns the synthetic SPEC CPU2006 suite, ordered by increasing
+// memory intensity as in the paper's Figures 2-3.
+func SPEC() []Spec {
+	return []Spec{
+		{Name: "calculix", Suite: SuiteSPEC, MemFrac: 0.22, WSS: 48 * kb, Hot: 16 * kb, HotFrac: 0.9, StreamFrac: 0.3, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "povray", Suite: SuiteSPEC, MemFrac: 0.25, WSS: 56 * kb, Hot: 24 * kb, HotFrac: 0.9, StreamFrac: 0.2, WriteFrac: 0.25, Class: LowIntensity},
+		{Name: "tonto", Suite: SuiteSPEC, MemFrac: 0.24, WSS: 96 * kb, Hot: 40 * kb, HotFrac: 0.85, StreamFrac: 0.3, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "namd", Suite: SuiteSPEC, MemFrac: 0.28, WSS: 128 * kb, Hot: 48 * kb, HotFrac: 0.9, StreamFrac: 0.35, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "perlbench", Suite: SuiteSPEC, MemFrac: 0.3, WSS: 192 * kb, Hot: 64 * kb, HotFrac: 0.85, StreamFrac: 0.2, DepFrac: 0.15, WriteFrac: 0.25, Class: LowIntensity},
+		{Name: "h264ref", Suite: SuiteSPEC, MemFrac: 0.3, WSS: 320 * kb, Hot: 96 * kb, HotFrac: 0.8, StreamFrac: 0.5, WriteFrac: 0.25, Class: LowIntensity},
+		{Name: "gobmk", Suite: SuiteSPEC, MemFrac: 0.26, WSS: 256 * kb, Hot: 96 * kb, HotFrac: 0.8, StreamFrac: 0.15, DepFrac: 0.2, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "sjeng", Suite: SuiteSPEC, MemFrac: 0.24, WSS: 384 * kb, Hot: 128 * kb, HotFrac: 0.75, StreamFrac: 0.1, DepFrac: 0.2, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "gcc", Suite: SuiteSPEC, MemFrac: 0.28, WSS: 512 * kb, Hot: 160 * kb, HotFrac: 0.8, StreamFrac: 0.25, DepFrac: 0.15, WriteFrac: 0.25, Class: MediumIntensity},
+		{Name: "bzip2", Suite: SuiteSPEC, MemFrac: 0.3, WSS: 1536 * kb, Hot: 512 * kb, HotFrac: 0.85, StreamFrac: 0.3, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "dealII", Suite: SuiteSPEC, MemFrac: 0.32, WSS: 1200 * kb, Hot: 384 * kb, HotFrac: 0.8, StreamFrac: 0.3, WriteFrac: 0.2, Class: MediumIntensity},
+		{Name: "hmmer", Suite: SuiteSPEC, MemFrac: 0.34, WSS: 768 * kb, Hot: 256 * kb, HotFrac: 0.85, StreamFrac: 0.4, WriteFrac: 0.2, Class: MediumIntensity},
+		{Name: "astar", Suite: SuiteSPEC, MemFrac: 0.3, WSS: 2 * mb, Hot: 640 * kb, HotFrac: 0.75, StreamFrac: 0.1, DepFrac: 0.4, WriteFrac: 0.2, Class: MediumIntensity},
+		{Name: "sphinx3", Suite: SuiteSPEC, MemFrac: 0.32, WSS: 3 * mb, Hot: 1 * mb, HotFrac: 0.7, StreamFrac: 0.4, WriteFrac: 0.15, Class: MediumIntensity},
+		{Name: "xalancbmk", Suite: SuiteSPEC, MemFrac: 0.3, WSS: 2 * mb, Hot: 512 * kb, HotFrac: 0.7, StreamFrac: 0.2, DepFrac: 0.3, WriteFrac: 0.2, Class: MediumIntensity},
+		{Name: "cactusADM", Suite: SuiteSPEC, MemFrac: 0.32, NearFrac: 0.60, WSS: 4 * mb, Hot: 1536 * kb, HotFrac: 0.6, StreamFrac: 0.5, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "zeusmp", Suite: SuiteSPEC, MemFrac: 0.3, NearFrac: 0.60, WSS: 6 * mb, Hot: 2 * mb, HotFrac: 0.6, StreamFrac: 0.55, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "GemsFDTD", Suite: SuiteSPEC, MemFrac: 0.33, NearFrac: 0.55, WSS: 12 * mb, Hot: 3 * mb, HotFrac: 0.5, StreamFrac: 0.6, WriteFrac: 0.3, Class: HighIntensity},
+		{Name: "omnetpp", Suite: SuiteSPEC, MemFrac: 0.32, WSS: 10 * mb, Hot: 2 * mb, HotFrac: 0.6, StreamFrac: 0.1, DepFrac: 0.5, WriteFrac: 0.25, Class: HighIntensity},
+		{Name: "leslie3d", Suite: SuiteSPEC, MemFrac: 0.34, NearFrac: 0.50, WSS: 16 * mb, Hot: 4 * mb, HotFrac: 0.5, StreamFrac: 0.65, WriteFrac: 0.3, Class: HighIntensity},
+		{Name: "soplex", Suite: SuiteSPEC, MemFrac: 0.34, WSS: 8 * mb, Hot: 2 * mb, HotFrac: 0.65, StreamFrac: 0.4, WriteFrac: 0.2, Class: HighIntensity},
+		{Name: "milc", Suite: SuiteSPEC, MemFrac: 0.34, NearFrac: 0.55, WSS: 12 * mb, Hot: 4 * mb, HotFrac: 0.45, StreamFrac: 0.45, WriteFrac: 0.3, Class: HighIntensity},
+		{Name: "libquantum", Suite: SuiteSPEC, MemFrac: 0.35, NearFrac: 0.30, WSS: 32 * mb, Hot: 4 * mb, HotFrac: 0.2, StreamFrac: 0.95, StreamRun: 4096, WriteFrac: 0.25, Class: HighIntensity},
+		{Name: "mcf", Suite: SuiteSPEC, MemFrac: 0.36, WSS: 24 * mb, Hot: 6 * mb, HotFrac: 0.55, StreamFrac: 0.05, DepFrac: 0.6, WriteFrac: 0.2, Class: HighIntensity},
+		{Name: "lbm", Suite: SuiteSPEC, MemFrac: 0.36, NearFrac: 0.40, WSS: 32 * mb, Hot: 8 * mb, HotFrac: 0.3, StreamFrac: 0.85, StreamRun: 2048, WriteFrac: 0.45, Class: HighIntensity},
+		{Name: "bwaves", Suite: SuiteSPEC, MemFrac: 0.35, NearFrac: 0.45, WSS: 24 * mb, Hot: 6 * mb, HotFrac: 0.4, StreamFrac: 0.75, StreamRun: 1024, WriteFrac: 0.3, Class: HighIntensity},
+	}
+}
+
+// NAS returns the synthetic NAS Parallel Benchmark suite (single-threaded,
+// class-A-like footprints), ordered by increasing memory intensity.
+func NAS() []Spec {
+	return []Spec{
+		{Name: "ep", Suite: SuiteNAS, MemFrac: 0.2, WSS: 64 * kb, Hot: 24 * kb, HotFrac: 0.9, StreamFrac: 0.3, WriteFrac: 0.2, Class: LowIntensity},
+		{Name: "is", Suite: SuiteNAS, MemFrac: 0.3, WSS: 1 * mb, Hot: 256 * kb, HotFrac: 0.7, StreamFrac: 0.5, WriteFrac: 0.35, Class: MediumIntensity},
+		{Name: "ua", Suite: SuiteNAS, MemFrac: 0.3, WSS: 2 * mb, Hot: 512 * kb, HotFrac: 0.7, StreamFrac: 0.4, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "bt", Suite: SuiteNAS, MemFrac: 0.32, WSS: 3 * mb, Hot: 1 * mb, HotFrac: 0.65, StreamFrac: 0.55, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "sp", Suite: SuiteNAS, MemFrac: 0.32, WSS: 4 * mb, Hot: 1 * mb, HotFrac: 0.6, StreamFrac: 0.6, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "lu", Suite: SuiteNAS, MemFrac: 0.32, WSS: 4 * mb, Hot: 1536 * kb, HotFrac: 0.6, StreamFrac: 0.5, WriteFrac: 0.3, Class: MediumIntensity},
+		{Name: "cg", Suite: SuiteNAS, MemFrac: 0.33, WSS: 8 * mb, Hot: 2 * mb, HotFrac: 0.55, StreamFrac: 0.2, DepFrac: 0.35, WriteFrac: 0.2, Class: HighIntensity},
+		{Name: "mg", Suite: SuiteNAS, MemFrac: 0.34, NearFrac: 0.50, WSS: 16 * mb, Hot: 4 * mb, HotFrac: 0.45, StreamFrac: 0.7, WriteFrac: 0.3, Class: HighIntensity},
+		{Name: "ft", Suite: SuiteNAS, MemFrac: 0.33, WSS: 6 * mb, Hot: 2 * mb, HotFrac: 0.75, StreamFrac: 0.45, WriteFrac: 0.3, Class: HighIntensity},
+		{Name: "dc", Suite: SuiteNAS, MemFrac: 0.34, WSS: 20 * mb, Hot: 4 * mb, HotFrac: 0.5, StreamFrac: 0.25, DepFrac: 0.3, WriteFrac: 0.35, Class: HighIntensity},
+	}
+}
+
+// DB returns the database workloads used in Section 6 ("Accuracy with
+// Database Workloads"): TPC-C-like and YCSB-like streams with large, low-
+// locality footprints and mixed read/write traffic.
+func DB() []Spec {
+	return []Spec{
+		{Name: "tpcc", Suite: SuiteDB, MemFrac: 0.32, WSS: 24 * mb, Hot: 4 * mb, HotFrac: 0.6, StreamFrac: 0.15, DepFrac: 0.3, WriteFrac: 0.35, Class: HighIntensity},
+		{Name: "ycsb-a", Suite: SuiteDB, MemFrac: 0.3, WSS: 16 * mb, Hot: 2 * mb, HotFrac: 0.7, StreamFrac: 0.1, DepFrac: 0.25, WriteFrac: 0.5, Class: MediumIntensity},
+		{Name: "ycsb-b", Suite: SuiteDB, MemFrac: 0.3, WSS: 16 * mb, Hot: 2 * mb, HotFrac: 0.7, StreamFrac: 0.1, DepFrac: 0.25, WriteFrac: 0.1, Class: MediumIntensity},
+	}
+}
+
+// All returns every named benchmark (SPEC + NAS + DB).
+func All() []Spec {
+	out := SPEC()
+	out = append(out, NAS()...)
+	out = append(out, DB()...)
+	return out
+}
+
+// ByName looks up a benchmark in All(), or a hog via HogByName.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return HogByName(name)
+}
+
+// Hog returns the cache-capacity/memory-bandwidth hog used in the Figure 1
+// experiment. level in [0, HogLevels) scales how much interference it
+// causes: higher levels access memory more often, stream harder and touch
+// a larger footprint.
+func Hog(level int) Spec {
+	if level < 0 {
+		level = 0
+	}
+	if level >= HogLevels {
+		level = HogLevels - 1
+	}
+	return Spec{
+		Name:       fmt.Sprintf("hog%d", level),
+		Suite:      SuiteSynthetic,
+		MemFrac:    0.10 + 0.05*float64(level),
+		WSS:        uint64(1+3*level) * mb,
+		Hot:        uint64(1+3*level) * mb / 4,
+		HotFrac:    0.3,
+		StreamFrac: 0.5 + 0.08*float64(level),
+		StreamRun:  1024,
+		WriteFrac:  0.3,
+		Class:      HighIntensity,
+	}
+}
+
+// HogLevels is the number of distinct hog intensities.
+const HogLevels = 6
+
+// HogByName parses "hogN" names.
+func HogByName(name string) (Spec, bool) {
+	var level int
+	if n, err := fmt.Sscanf(name, "hog%d", &level); err == nil && n == 1 {
+		return Hog(level), true
+	}
+	return Spec{}, false
+}

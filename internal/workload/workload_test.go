@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	for lvl := 0; lvl < HogLevels; lvl++ {
+		if err := Hog(lvl).Validate(); err != nil {
+			t.Errorf("hog%d: %v", lvl, err)
+		}
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	if len(SPEC()) < 20 {
+		t.Fatalf("SPEC suite has %d entries", len(SPEC()))
+	}
+	if len(NAS()) < 8 {
+		t.Fatalf("NAS suite has %d entries", len(NAS()))
+	}
+	if len(DB()) < 3 {
+		t.Fatalf("DB suite has %d entries", len(DB()))
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate benchmark name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mcf", "ft", "tpcc", "hog3"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("doesnotexist"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x", MemFrac: 0, WSS: 1 << 20},
+		{Name: "x", MemFrac: 0.5, WSS: 100},
+		{Name: "x", MemFrac: 0.5, WSS: 1 << 20, Hot: 1 << 21},
+		{Name: "x", MemFrac: 0.5, WSS: 1 << 20, StreamFrac: 1.5},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+// TestGeneratorDeterminism is the property the alone-run ground truth
+// depends on: same (spec, slot, seed) => identical instruction stream.
+func TestGeneratorDeterminism(t *testing.T) {
+	spec, _ := ByName("mcf")
+	a := NewGenerator(spec, 2, 42)
+	b := NewGenerator(spec, 2, 42)
+	var ia, ib Instr
+	for i := 0; i < 50000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("streams diverged at instruction %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestGeneratorSlotIndependentStream(t *testing.T) {
+	// The access *pattern* must not depend on the slot — only the address
+	// base does — so the alone profile of slot 0 applies to any slot.
+	spec, _ := ByName("soplex")
+	a := NewGenerator(spec, 0, 42)
+	b := NewGenerator(spec, 3, 42)
+	var ia, ib Instr
+	for i := 0; i < 20000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia.IsMem != ib.IsMem || ia.Write != ib.Write || ia.DependsOnPrev != ib.DependsOnPrev {
+			t.Fatalf("instruction kinds diverged at %d", i)
+		}
+		if ia.IsMem {
+			offA := ia.Addr - 1<<40
+			offB := ib.Addr - 4<<40
+			if offA != offB {
+				t.Fatalf("offsets diverged at %d: %x vs %x", i, offA, offB)
+			}
+		}
+	}
+}
+
+func TestAddressesStayInSlotSpace(t *testing.T) {
+	err := quick.Check(func(slotRaw uint8, seed uint64) bool {
+		slot := int(slotRaw % 16)
+		spec, _ := ByName("libquantum")
+		g := NewGenerator(spec, slot, seed)
+		base := (uint64(slot) + 1) << 40
+		var in Instr
+		for i := 0; i < 2000; i++ {
+			g.Next(&in)
+			if !in.IsMem {
+				continue
+			}
+			if in.Addr < base || in.Addr >= base+spec.WSS {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFracRespected(t *testing.T) {
+	spec, _ := ByName("mcf")
+	g := NewGenerator(spec, 0, 7)
+	var in Instr
+	mem := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		if in.IsMem {
+			mem++
+		}
+	}
+	frac := float64(mem) / n
+	if frac < spec.MemFrac-0.02 || frac > spec.MemFrac+0.02 {
+		t.Fatalf("memory fraction %v, spec %v", frac, spec.MemFrac)
+	}
+}
+
+func TestStreamDwellSpatialLocality(t *testing.T) {
+	// A pure-stream spec re-touches each line StreamDwell times.
+	spec := Spec{
+		Name: "stream", Suite: SuiteSynthetic, MemFrac: 1, NearFrac: 0.0001,
+		WSS: 1 << 22, Hot: 1 << 20, StreamFrac: 1, StreamDwell: 4, StreamRun: 1 << 16,
+	}
+	g := NewGenerator(spec, 0, 3)
+	var in Instr
+	lineCounts := map[uint64]int{}
+	for i := 0; i < 4000; i++ {
+		g.Next(&in)
+		lineCounts[in.Addr/LineSize]++
+	}
+	four := 0
+	for _, c := range lineCounts {
+		if c == 4 {
+			four++
+		}
+	}
+	if float64(four) < 0.9*float64(len(lineCounts)) {
+		t.Fatalf("only %d/%d lines touched exactly dwell times", four, len(lineCounts))
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	spec := Spec{
+		Name: "seq", Suite: SuiteSynthetic, MemFrac: 1, NearFrac: 0.0001,
+		WSS: 1 << 22, Hot: 1 << 20, StreamFrac: 1, StreamDwell: 1, StreamRun: 1 << 16,
+	}
+	g := NewGenerator(spec, 0, 3)
+	var in Instr
+	g.Next(&in)
+	prev := in.Addr / LineSize
+	sequential := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		line := in.Addr / LineSize
+		if line == prev+1 {
+			sequential++
+		}
+		prev = line
+	}
+	if float64(sequential) < 0.95*n {
+		t.Fatalf("stream only %d/%d sequential", sequential, n)
+	}
+}
+
+func TestDependentLoadsOnlyOnFarLoads(t *testing.T) {
+	spec := Spec{
+		Name: "dep", Suite: SuiteSynthetic, MemFrac: 1, NearFrac: 0.0001,
+		WSS: 1 << 22, Hot: 1 << 20, HotFrac: 0.5, DepFrac: 1, WriteFrac: 0,
+	}
+	g := NewGenerator(spec, 0, 3)
+	var in Instr
+	deps := 0
+	for i := 0; i < 1000; i++ {
+		g.Next(&in)
+		if in.DependsOnPrev {
+			if in.Write {
+				t.Fatal("stores cannot be dependent loads")
+			}
+			deps++
+		}
+	}
+	if deps < 900 {
+		t.Fatalf("DepFrac=1 produced only %d dependent loads", deps)
+	}
+}
+
+func TestHogIntensityMonotonic(t *testing.T) {
+	prev := 0.0
+	for lvl := 0; lvl < HogLevels; lvl++ {
+		h := Hog(lvl)
+		intensity := h.MemFrac * float64(h.WSS)
+		if intensity <= prev {
+			t.Fatalf("hog intensity not increasing at level %d", lvl)
+		}
+		prev = intensity
+	}
+	// Out-of-range levels clamp.
+	if Hog(-1).Name != Hog(0).Name || Hog(99).Name != Hog(HogLevels-1).Name {
+		t.Fatal("hog level clamping broken")
+	}
+}
+
+func TestRandomMixes(t *testing.T) {
+	pool := append(SPEC(), NAS()...)
+	mixes := RandomMixes(pool, 4, 25, 7)
+	if len(mixes) != 25 {
+		t.Fatalf("%d mixes", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Names) != 4 {
+			t.Fatalf("mix size %d", len(m.Names))
+		}
+		intense := false
+		for _, s := range m.Specs() {
+			if s.Class != LowIntensity {
+				intense = true
+			}
+		}
+		if !intense {
+			t.Fatalf("mix %s has no medium/high-intensity app", m)
+		}
+	}
+}
+
+func TestRandomMixesDeterministic(t *testing.T) {
+	pool := SPEC()
+	a := RandomMixes(pool, 4, 10, 3)
+	b := RandomMixes(pool, 4, 10, 3)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("mixes not deterministic")
+		}
+	}
+}
+
+func TestClassMixes(t *testing.T) {
+	pool := append(SPEC(), NAS()...)
+	classes := []IntensityClass{HighIntensity, HighIntensity, LowIntensity}
+	mixes := ClassMixes(pool, classes, 10, 5)
+	for _, m := range mixes {
+		specs := m.Specs()
+		if specs[0].Class != HighIntensity || specs[2].Class != LowIntensity {
+			t.Fatalf("class constraint violated in %s", m)
+		}
+	}
+}
+
+func TestMemoryIntensiveMixes(t *testing.T) {
+	mixes := MemoryIntensiveMixes(SPEC(), 4, 5, 1)
+	for _, m := range mixes {
+		for _, s := range m.Specs() {
+			if s.Class != HighIntensity {
+				t.Fatalf("non-intensive app %s in %s", s.Name, m)
+			}
+		}
+	}
+}
+
+func TestMixString(t *testing.T) {
+	m := Mix{Names: []string{"a", "b"}}
+	if m.String() != "a+b" {
+		t.Fatalf("got %q", m.String())
+	}
+}
