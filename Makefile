@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the CI gate: build + vet + tests, then the race detector over
+# the concurrency-heavy packages (sweep workers, cluster rounds, faults).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exp/... ./internal/cluster/... ./internal/faults/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

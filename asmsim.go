@@ -29,11 +29,13 @@
 package asmsim
 
 import (
+	"context"
 	"fmt"
 
 	"asmsim/internal/cluster"
 	"asmsim/internal/core"
 	"asmsim/internal/exp"
+	"asmsim/internal/faults"
 	"asmsim/internal/metrics"
 	"asmsim/internal/model"
 	"asmsim/internal/partition"
@@ -65,6 +67,24 @@ type (
 	ExperimentScale = exp.Scale
 	// ASM is the paper's Application Slowdown Model.
 	ASM = core.ASM
+	// FaultConfig configures deterministic fault injection (evaluation
+	// failures, timeouts, counter corruption, machine outages) for the
+	// cluster balancer and the experiment runner. The zero value injects
+	// nothing.
+	FaultConfig = faults.Config
+	// MachineHealth is a cluster machine's health state.
+	MachineHealth = cluster.Health
+	// ClusterEvent is one entry in the cluster's degradation log.
+	ClusterEvent = cluster.Event
+	// ClusterDrain records one job moved (or parked) off a failed machine.
+	ClusterDrain = cluster.Drain
+)
+
+// Machine health states for the graceful-degradation state machine.
+const (
+	MachineHealthy  = cluster.Healthy
+	MachineDegraded = cluster.Degraded
+	MachineFailed   = cluster.Failed
 )
 
 // Memory scheduling policies.
@@ -182,6 +202,15 @@ type RunResult struct {
 // the package's convenience entry point; use NewSystem directly for
 // custom instrumentation.
 func Run(cfg Config, names []string, opt RunOptions) (*RunResult, error) {
+	return RunContext(context.Background(), cfg, names, opt)
+}
+
+// RunContext is Run with cancellation: the simulation checks ctx between
+// quanta and returns ctx's error (with no result) when cancelled.
+func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Quanta <= 0 {
 		opt.Quanta = 3
 	}
@@ -248,7 +277,12 @@ func Run(cfg Config, names []string, opt RunOptions) (*RunResult, error) {
 			}
 		}
 	})
-	sys.RunQuanta(opt.WarmupQuanta + opt.Quanta)
+	for q := 0; q < opt.WarmupQuanta+opt.Quanta; q++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("asmsim: run cancelled after %d quanta: %w", q, err)
+		}
+		sys.RunQuanta(1)
+	}
 	if measured == 0 {
 		return nil, fmt.Errorf("asmsim: no measured quanta")
 	}
@@ -321,6 +355,17 @@ func (c *Cluster) WorstSlowdown() float64 { return c.inner.WorstSlowdown() }
 
 // Migrations returns the balancer's decisions so far.
 func (c *Cluster) Migrations() []ClusterMigration { return c.inner.Migrations }
+
+// Events returns the degradation log: retries, health transitions,
+// drains, parks and recoveries, in order.
+func (c *Cluster) Events() []ClusterEvent { return c.inner.Events }
+
+// Drains returns the jobs moved or parked when machines failed.
+func (c *Cluster) Drains() []ClusterDrain { return c.inner.Drains }
+
+// Unplaced returns jobs parked because no surviving machine could admit
+// them; they are retried every round.
+func (c *Cluster) Unplaced() []string { return c.inner.Unplaced }
 
 // FairBill implements the Section 7.4 cloud-billing use case: given a
 // job's wall-clock time on a shared machine and its estimated slowdown,

@@ -13,6 +13,7 @@ package asmsim
 // result (who wins, by roughly what factor) is preserved.
 
 import (
+	"context"
 	"testing"
 
 	"asmsim/internal/exp"
@@ -41,7 +42,7 @@ func benchRun(b *testing.B, id string) {
 	}
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		table, err := e.Run(sc)
+		table, err := e.Run(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}

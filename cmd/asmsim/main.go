@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"asmsim"
 )
@@ -34,6 +37,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		list        = flag.Bool("list", false, "list available benchmarks")
 		charact     = flag.Bool("characterize", false, "run every benchmark alone and print its memory characterization")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -72,7 +76,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := asmsim.Run(cfg, names, asmsim.RunOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := asmsim.RunContext(ctx, cfg, names, asmsim.RunOptions{
 		WarmupQuanta: *warmup,
 		Quanta:       *quanta,
 		GroundTruth:  *groundTruth,

@@ -7,13 +7,21 @@
 //	experiments -run fig2 -full      # paper scale (hours)
 //	experiments -run all -quick
 //	experiments -run tab3 -workloads 10 -quanta 5
+//	experiments -run all -timeout 30m -run-timeout 2m
+//
+// Ctrl-C (SIGINT/SIGTERM) or the -timeout deadline stops the sweep
+// between quanta; tables built from partial results are still printed,
+// with their failed items listed, and the process exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"asmsim/internal/exp"
@@ -21,14 +29,16 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list available experiments")
-		run       = flag.String("run", "", "experiment id to run, or 'all'")
-		full      = flag.Bool("full", false, "paper-scale sweep (hours)")
-		workloads = flag.Int("workloads", 0, "override workload count")
-		quanta    = flag.Int("quanta", 0, "override measured quanta")
-		seed      = flag.Uint64("seed", 0, "override random seed")
-		format    = flag.String("format", "text", "output format: text, csv, json")
-		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.<format>")
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		full       = flag.Bool("full", false, "paper-scale sweep (hours)")
+		workloads  = flag.Int("workloads", 0, "override workload count")
+		quanta     = flag.Int("quanta", 0, "override measured quanta")
+		seed       = flag.Uint64("seed", 0, "override random seed")
+		format     = flag.String("format", "text", "output format: text, csv, json")
+		outDir     = flag.String("o", "", "also write each table to <dir>/<id>.<format>")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for the whole invocation (0 = none)")
+		runTimeout = flag.Duration("run-timeout", 0, "per-workload-run deadline; a run exceeding it fails like any other item (0 = none)")
 	)
 	flag.Parse()
 
@@ -57,6 +67,17 @@ func main() {
 	if *seed > 0 {
 		sc.Seed = *seed
 	}
+	if *runTimeout > 0 {
+		sc.RunTimeout = *runTimeout
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var exps []exp.Experiment
 	if *run == "all" {
@@ -70,12 +91,16 @@ func main() {
 		exps = []exp.Experiment{e}
 	}
 
+	partial := 0
 	for _, e := range exps {
 		start := time.Now()
-		table, err := e.Run(sc)
+		table, err := e.Run(ctx, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if table.Partial() {
+			partial++
 		}
 		render := func(f string) (string, error) {
 			switch f {
@@ -111,5 +136,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if table.Partial() {
+			fmt.Fprintf(os.Stderr, "%s: PARTIAL RESULTS — %d item(s) lost:\n", e.ID, len(table.Failures))
+			for _, f := range table.Failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+		}
+	}
+	if partial > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d experiment(s) completed only partially\n", partial, len(exps))
+		os.Exit(1)
 	}
 }

@@ -12,6 +12,16 @@
 // control refuses jobs on machines whose tenants already exceed an SLA
 // slowdown bound.
 //
+// The balancer is built to keep serving when machines misbehave. A failed
+// evaluation is retried with deterministic backoff; a machine whose round
+// still fails keeps serving its last estimates, marked Degraded, for a
+// bounded number of rounds (the stale TTL); when the TTL or the retries
+// are exhausted the machine is marked Failed and its jobs are drained
+// onto the survivors, subject to the SLA admission bound. Failed machines
+// are probed each round and re-enter service when they recover. Faults
+// can be injected deterministically via internal/faults for tests and
+// chaos drills.
+//
 // Jobs are stationary synthetic streams, so re-running a machine's mix
 // after a migration is equivalent to continuing it — the abstraction that
 // keeps rounds cheap.
@@ -19,11 +29,27 @@ package cluster
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"asmsim/internal/core"
+	"asmsim/internal/faults"
 	"asmsim/internal/metrics"
 	"asmsim/internal/sim"
 	"asmsim/internal/workload"
+)
+
+// Defaults for the robustness knobs (selected by zero values in Config).
+const (
+	// DefaultMaxRetries is how many times a failed evaluation is retried
+	// within one round before the machine degrades.
+	DefaultMaxRetries = 1
+	// DefaultStaleTTL is how many consecutive rounds a machine may serve
+	// stale estimates before it is marked Failed and drained.
+	DefaultStaleTTL = 2
+	// DefaultDrainSLABound is the admission bound enforced when
+	// re-placing a drained machine's jobs.
+	DefaultDrainSLABound = 3.0
 )
 
 // Config describes the cluster.
@@ -34,6 +60,26 @@ type Config struct {
 	System sim.Config
 	// RoundQuanta is how many quanta each evaluation round simulates.
 	RoundQuanta int
+
+	// MaxRetries bounds re-evaluation attempts after a failed evaluation
+	// within one round (0 selects DefaultMaxRetries; negative disables
+	// retries).
+	MaxRetries int
+	// RetryBackoff is the base deterministic backoff between attempts:
+	// attempt k waits RetryBackoff << k. Zero (the default) retries
+	// immediately, which is what simulations and tests want.
+	RetryBackoff time.Duration
+	// StaleTTL is how many consecutive rounds a machine may serve stale
+	// estimates while Degraded before it is marked Failed and drained
+	// (0 selects DefaultStaleTTL; negative fails immediately).
+	StaleTTL int
+	// DrainSLABound is the SLA slowdown bound enforced by admission
+	// control when a failed machine's jobs are re-placed (0 selects
+	// DefaultDrainSLABound).
+	DrainSLABound float64
+	// Faults optionally injects deterministic failures (see
+	// internal/faults). The zero value injects nothing.
+	Faults faults.Config
 }
 
 // Validate reports a configuration error, or nil.
@@ -47,17 +93,87 @@ func (c Config) Validate() error {
 	if !c.System.EpochPriority {
 		return fmt.Errorf("cluster: ASM needs EpochPriority enabled")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return c.System.Validate()
+}
+
+// maxRetries resolves the retry knob's zero value.
+func (c Config) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+// staleTTL resolves the stale-estimate TTL's zero value.
+func (c Config) staleTTL() int {
+	if c.StaleTTL == 0 {
+		return DefaultStaleTTL
+	}
+	if c.StaleTTL < 0 {
+		return 0
+	}
+	return c.StaleTTL
+}
+
+// drainBound resolves the drain admission bound's zero value.
+func (c Config) drainBound() float64 {
+	if c.DrainSLABound == 0 {
+		return DefaultDrainSLABound
+	}
+	return c.DrainSLABound
 }
 
 // Placement assigns job names to machines (one slice per machine, each of
 // length System.Cores).
 type Placement [][]string
 
+// Health is a machine's serving state.
+type Health int
+
+const (
+	// Healthy machines evaluated successfully in the latest round.
+	Healthy Health = iota
+	// Degraded machines failed their latest evaluation and serve stale,
+	// TTL-bounded estimates from an earlier round.
+	Degraded
+	// Failed machines exhausted their retries and stale TTL; their jobs
+	// have been drained and they take no work until they recover.
+	Failed
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
 // Machine is one machine's most recent evaluation.
 type Machine struct {
 	Jobs      []string
-	Slowdowns []float64 // ASM estimates from the last round
+	Slowdowns []float64 // ASM estimates from the last successful round
+	// Health is the machine's serving state.
+	Health Health
+	// StaleRounds counts consecutive rounds served from stale estimates
+	// (0 for a machine whose latest evaluation succeeded).
+	StaleRounds int
+	// LastErr is the most recent evaluation failure, nil when healthy.
+	LastErr error
+
+	// outageLeft counts remaining rounds of an injected transient outage.
+	outageLeft int
 }
 
 // MaxSlowdown returns the machine's unfairness.
@@ -67,9 +183,18 @@ func (m Machine) MaxSlowdown() float64 { return metrics.MaxSlowdown(m.Slowdowns)
 type Cluster struct {
 	cfg      Config
 	machines []Machine
-	// Migrations records every (round, job, from, to) decision.
+	inj      *faults.Injector
+	// Migrations records every (round, job, from, to) balancer decision.
 	Migrations []Migration
-	round      int
+	// Drains records every job rescheduled off a failed machine.
+	Drains []Drain
+	// Unplaced holds drained jobs no surviving machine could admit; they
+	// are retried every round.
+	Unplaced []string
+	// Events is the robustness audit log: retries, degradations, drains,
+	// recoveries.
+	Events []Event
+	round  int
 }
 
 // Migration is one balancer decision.
@@ -82,6 +207,26 @@ type Migration struct {
 	Swapped string
 }
 
+// Drain records one job rescheduled off a failed machine. To is -1 when
+// no surviving machine could admit the job under the SLA bound (the job
+// is parked in Unplaced), and From is -1 when a previously parked job is
+// re-placed.
+type Drain struct {
+	Round    int
+	Job      string
+	From, To int
+}
+
+// Event is one entry of the robustness audit log.
+type Event struct {
+	Round   int
+	Machine int
+	// Kind is one of "retry", "degraded", "failed", "drain", "park",
+	// "replace", "recovered", "outage".
+	Kind   string
+	Detail string
+}
+
 // New returns a cluster with the given initial placement.
 func New(cfg Config, placement Placement) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
@@ -90,7 +235,7 @@ func New(cfg Config, placement Placement) (*Cluster, error) {
 	if len(placement) != cfg.Machines {
 		return nil, fmt.Errorf("cluster: placement covers %d of %d machines", len(placement), cfg.Machines)
 	}
-	c := &Cluster{cfg: cfg, machines: make([]Machine, cfg.Machines)}
+	c := &Cluster{cfg: cfg, machines: make([]Machine, cfg.Machines), inj: faults.New(cfg.Faults)}
 	for i, jobs := range placement {
 		if len(jobs) != cfg.System.Cores {
 			return nil, fmt.Errorf("cluster: machine %d has %d jobs for %d cores", i, len(jobs), cfg.System.Cores)
@@ -103,23 +248,139 @@ func New(cfg Config, placement Placement) (*Cluster, error) {
 // Machines returns the current state of every machine.
 func (c *Cluster) Machines() []Machine { return c.machines }
 
-// EvaluateRound simulates every machine for RoundQuanta quanta and
-// refreshes its ASM slowdown estimates.
+// Round returns the number of completed evaluation rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// event appends one audit-log entry for the current round.
+func (c *Cluster) event(machine int, kind, detail string) {
+	c.Events = append(c.Events, Event{Round: c.round, Machine: machine, Kind: kind, Detail: detail})
+}
+
+// EvaluateRound simulates every serving machine for RoundQuanta quanta
+// and refreshes its ASM slowdown estimates, degrading rather than
+// aborting on per-machine failures:
+//
+//   - a failed evaluation is retried up to MaxRetries times with
+//     deterministic backoff;
+//   - a machine whose round still fails keeps serving its previous
+//     estimates, marked Degraded, for up to StaleTTL rounds;
+//   - when retries and TTL are exhausted (or the machine has no prior
+//     estimates to serve) it is marked Failed and its jobs are drained
+//     onto the survivors under the DrainSLABound admission bound;
+//   - Failed machines are probed once per round and return to service
+//     (idle, Healthy) when the probe succeeds; parked jobs are then
+//     re-placed onto whichever machines admit them.
+//
+// It returns an error only when no machine is serving at the end of the
+// round — the cluster equivalent of total loss.
 func (c *Cluster) EvaluateRound() error {
 	for i := range c.machines {
-		sd, err := c.evaluate(c.machines[i].Jobs)
-		if err != nil {
-			return fmt.Errorf("machine %d: %w", i, err)
+		m := &c.machines[i]
+		if m.Health == Failed {
+			c.probeRecovery(i)
+			continue
 		}
-		c.machines[i].Slowdowns = sd
+		if len(m.Jobs) == 0 {
+			// An idle machine has nothing to evaluate; it stays Healthy
+			// and admits work trivially.
+			m.Slowdowns = nil
+			m.LastErr = nil
+			continue
+		}
+		sd, err := c.evaluateWithRetry(i)
+		if err == nil {
+			m.Slowdowns = sd
+			m.Health = Healthy
+			m.StaleRounds = 0
+			m.LastErr = nil
+			continue
+		}
+		m.LastErr = err
+		if m.Slowdowns != nil && m.StaleRounds < c.cfg.staleTTL() {
+			m.Health = Degraded
+			m.StaleRounds++
+			c.event(i, "degraded", fmt.Sprintf("serving stale estimates (age %d/%d): %v",
+				m.StaleRounds, c.cfg.staleTTL(), err))
+			continue
+		}
+		m.Health = Failed
+		c.event(i, "failed", err.Error())
+		c.drainMachine(i)
 	}
+	c.replaceUnplaced()
 	c.round++
+	serving := 0
+	for i := range c.machines {
+		if c.machines[i].Health != Failed {
+			serving++
+		}
+	}
+	if serving == 0 {
+		return fmt.Errorf("cluster: all %d machines failed (round %d)", len(c.machines), c.round-1)
+	}
 	return nil
 }
 
+// probeRecovery gives a Failed machine one chance per round to re-enter
+// service. A machine still inside an injected outage window stays down;
+// otherwise the probe succeeds unless the injector fails it, and the
+// machine returns Healthy and idle (its jobs were drained when it
+// failed), eligible for parked jobs and new admissions.
+func (c *Cluster) probeRecovery(i int) {
+	m := &c.machines[i]
+	if m.outageLeft > 0 {
+		m.outageLeft--
+		return
+	}
+	if err := c.inj.FailEval(i, c.round, 0); err != nil {
+		m.LastErr = err
+		return
+	}
+	m.Health = Healthy
+	m.StaleRounds = 0
+	m.LastErr = nil
+	m.Slowdowns = nil
+	c.event(i, "recovered", "probe succeeded; machine idle and admitting")
+}
+
+// evaluateWithRetry runs one machine's evaluation with injected-outage
+// handling and bounded, deterministically backed-off retries.
+func (c *Cluster) evaluateWithRetry(i int) ([]float64, error) {
+	m := &c.machines[i]
+	if m.outageLeft > 0 {
+		m.outageLeft--
+		return nil, &faults.Fault{Kind: faults.Outage, Site: fmt.Sprintf("machine %d round %d", i, c.round)}
+	}
+	if c.inj.OutageStarts(i, c.round) {
+		m.outageLeft = c.inj.OutageLen() - 1
+		c.event(i, "outage", fmt.Sprintf("transient outage for %d round(s)", c.inj.OutageLen()))
+		return nil, &faults.Fault{Kind: faults.Outage, Site: fmt.Sprintf("machine %d round %d", i, c.round)}
+	}
+	retries := c.cfg.maxRetries()
+	for attempt := 0; ; attempt++ {
+		err := c.inj.FailEval(i, c.round, attempt)
+		var sd []float64
+		if err == nil {
+			sd, err = c.evaluate(i, c.machines[i].Jobs)
+		}
+		if err == nil {
+			return sd, nil
+		}
+		if attempt >= retries {
+			return nil, err
+		}
+		if d := c.cfg.RetryBackoff; d > 0 {
+			time.Sleep(d << attempt)
+		}
+		c.event(i, "retry", fmt.Sprintf("attempt %d failed: %v", attempt, err))
+	}
+}
+
 // evaluate runs one machine's mix and returns the mean ASM estimates over
-// the round's quanta.
-func (c *Cluster) evaluate(jobs []string) ([]float64, error) {
+// the round's quanta. Estimator input passes through the fault injector
+// (which may corrupt a snapshot's counters) and the Sanitize guard (which
+// replaces the resulting NaN/Inf with the previous quantum's estimate).
+func (c *Cluster) evaluate(machine int, jobs []string) ([]float64, error) {
 	specs := make([]workload.Spec, len(jobs))
 	for i, name := range jobs {
 		sp, ok := workload.ByName(name)
@@ -134,11 +395,13 @@ func (c *Cluster) evaluate(jobs []string) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	asm := core.NewASM()
+	asm := core.Sanitize(core.NewASM())
+	site := fmt.Sprintf("machine %d round %d", machine, c.round)
 	sums := make([]float64, len(jobs))
 	quanta := 0
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
-		est := asm.Estimate(st)
+		stEst, _ := c.inj.CorruptStats(site, st)
+		est := asm.Estimate(stEst)
 		if st.Quantum == 0 && c.cfg.RoundQuanta > 1 {
 			return // first quantum warms structures when we can afford it
 		}
@@ -153,19 +416,103 @@ func (c *Cluster) evaluate(jobs []string) ([]float64, error) {
 	}
 	for i := range sums {
 		sums[i] /= float64(quanta)
+		if math.IsNaN(sums[i]) || math.IsInf(sums[i], 0) {
+			return nil, fmt.Errorf("non-finite estimate for job %q", jobs[i])
+		}
 	}
 	return sums, nil
+}
+
+// drainMachine reschedules a failed machine's jobs onto surviving
+// machines, enforcing the SLA admission bound during re-placement. Jobs
+// no survivor can admit are parked in Unplaced and retried every round.
+func (c *Cluster) drainMachine(from int) {
+	m := &c.machines[from]
+	jobs := m.Jobs
+	m.Jobs = nil
+	m.Slowdowns = nil
+	for _, job := range jobs {
+		to := c.placeJob(job)
+		c.Drains = append(c.Drains, Drain{Round: c.round, Job: job, From: from, To: to})
+		if to < 0 {
+			c.Unplaced = append(c.Unplaced, job)
+			c.event(from, "park", fmt.Sprintf("no machine admits %q under SLA bound %.2f", job, c.cfg.drainBound()))
+			continue
+		}
+		c.machines[to].Jobs = append(c.machines[to].Jobs, job)
+		c.event(to, "drain", fmt.Sprintf("absorbed %q from machine %d", job, from))
+	}
+}
+
+// replaceUnplaced retries admission for parked jobs at the end of every
+// round, so capacity freed by recoveries or migrations is reused.
+func (c *Cluster) replaceUnplaced() {
+	if len(c.Unplaced) == 0 {
+		return
+	}
+	var still []string
+	for _, job := range c.Unplaced {
+		to := c.placeJob(job)
+		if to < 0 {
+			still = append(still, job)
+			continue
+		}
+		c.machines[to].Jobs = append(c.machines[to].Jobs, job)
+		c.Drains = append(c.Drains, Drain{Round: c.round, Job: job, From: -1, To: to})
+		c.event(to, "replace", fmt.Sprintf("admitted parked job %q", job))
+	}
+	c.Unplaced = still
+}
+
+// placeJob picks the admitting survivor with the most headroom — fewest
+// jobs, then lowest max slowdown — or -1 when no machine admits the job
+// under the drain SLA bound. A job that no longer resolves to a known
+// benchmark is never placed: re-placing it would poison the next machine's
+// evaluation and cascade the failure through the cluster.
+func (c *Cluster) placeJob(job string) int {
+	if _, ok := workload.ByName(job); !ok {
+		return -1
+	}
+	best := -1
+	for i := range c.machines {
+		m := &c.machines[i]
+		if m.Health == Failed {
+			continue
+		}
+		ok, err := c.CanAdmit(i, c.cfg.drainBound())
+		if err != nil || !ok {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := &c.machines[best]
+		if len(m.Jobs) < len(b.Jobs) ||
+			(len(m.Jobs) == len(b.Jobs) && m.MaxSlowdown() < b.MaxSlowdown()) {
+			best = i
+		}
+	}
+	return best
 }
 
 // Rebalance performs one slowdown-aware migration: the most-slowed job on
 // the machine with the worst unfairness swaps with the least-slowed job
 // on the machine with the best. It returns false when the spread is
-// already within tolerance (no migration pays off).
+// already within tolerance (no migration pays off). Failed machines and
+// machines whose estimates do not match their current job list (mid-drain
+// or just-migrated) are skipped; with fewer than two candidates there is
+// nothing to balance.
 func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
 	worst, best := -1, -1
+	evaluated := 0
 	for i, m := range c.machines {
-		if m.Slowdowns == nil {
-			return false, fmt.Errorf("cluster: machine %d not evaluated", i)
+		if m.Health == Failed || m.Slowdowns == nil {
+			continue
+		}
+		evaluated++
+		if len(m.Slowdowns) != len(m.Jobs) {
+			continue // stale composition: wait for the next round
 		}
 		if worst < 0 || m.MaxSlowdown() > c.machines[worst].MaxSlowdown() {
 			worst = i
@@ -174,7 +521,11 @@ func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
 			best = i
 		}
 	}
-	if worst == best || c.machines[worst].MaxSlowdown()-c.machines[best].MaxSlowdown() <= tolerance {
+	if evaluated == 0 {
+		return false, fmt.Errorf("cluster: no evaluated machines")
+	}
+	if worst < 0 || best < 0 || worst == best ||
+		c.machines[worst].MaxSlowdown()-c.machines[best].MaxSlowdown() <= tolerance {
 		return false, nil
 	}
 	// Victim: the most-slowed job on the worst machine. Replacement: the
@@ -201,12 +552,20 @@ func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
 // accept new work only while every current tenant's estimated slowdown is
 // within the SLA bound (Section 7.5: "prevent new applications from being
 // scheduled on machines where currently running applications are
-// experiencing significant slowdowns").
+// experiencing significant slowdowns"). Failed machines never admit; idle
+// machines admit trivially; Degraded machines are judged on their stale
+// (TTL-bounded) estimates — the best information available.
 func (c *Cluster) CanAdmit(machine int, slaBound float64) (bool, error) {
 	if machine < 0 || machine >= len(c.machines) {
 		return false, fmt.Errorf("cluster: no machine %d", machine)
 	}
 	m := c.machines[machine]
+	if m.Health == Failed {
+		return false, nil
+	}
+	if len(m.Jobs) == 0 {
+		return true, nil
+	}
 	if m.Slowdowns == nil {
 		return false, fmt.Errorf("cluster: machine %d not evaluated", machine)
 	}

@@ -163,7 +163,29 @@ func TestUnknownJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.EvaluateRound(); err == nil {
-		t.Fatal("unknown job accepted")
+	// One machine with a bad job must not abort the round: the machine
+	// fails (it has no stale estimates to serve) and the survivor carries
+	// the cluster.
+	if err := c.EvaluateRound(); err != nil {
+		t.Fatalf("round must survive one bad machine: %v", err)
+	}
+	m := c.Machines()[0]
+	if m.Health != Failed {
+		t.Fatalf("machine 0 health %v, want Failed", m.Health)
+	}
+	if m.LastErr == nil {
+		t.Fatal("failed machine must record its error")
+	}
+	if c.Machines()[1].Health != Healthy {
+		t.Fatalf("survivor health %v", c.Machines()[1].Health)
+	}
+	// The unresolvable job must never be re-placed onto the survivor —
+	// that would poison its next evaluation too.
+	for _, mach := range c.Machines() {
+		for _, job := range mach.Jobs {
+			if job == "nonesuch" {
+				t.Fatal("poison job re-placed onto a serving machine")
+			}
+		}
 	}
 }

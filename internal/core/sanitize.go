@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+
+	"asmsim/internal/sim"
+)
+
+// Sanitize wraps an estimator with the defensive guard ASM applies
+// internally: whenever the underlying model produces a non-finite or
+// out-of-range estimate — or the quantum's float counters themselves
+// carry NaN/Inf from a corrupted snapshot — the app's estimate falls back
+// to the previous quantum's value decayed toward 1, exactly like ASM's
+// no-signal path (phase stability, Section 3.1). This extends the
+// clampSlowdown discipline to the baseline estimators, whose stateless
+// clamps would otherwise jump to 1 on a single bad readout.
+//
+// In normal operation the guard is a strict pass-through: every estimator
+// in this repo already clamps its output to [1, maxSlowdown], so wrapped
+// and unwrapped runs produce identical numbers on clean counters.
+func Sanitize(e Estimator) Estimator { return &guarded{inner: e} }
+
+// SanitizeAll wraps every estimator in the set with Sanitize.
+func SanitizeAll(es []Estimator) []Estimator {
+	out := make([]Estimator, len(es))
+	for i, e := range es {
+		out[i] = Sanitize(e)
+	}
+	return out
+}
+
+// guarded is the Sanitize wrapper. It keeps one previous-quantum estimate
+// per app as the fallback, mirroring ASM's prev slice.
+type guarded struct {
+	inner Estimator
+	prev  []float64
+}
+
+// Name implements Estimator, delegating so experiment tables and sample
+// maps are unaffected by wrapping.
+func (g *guarded) Name() string { return g.inner.Name() }
+
+// Estimate implements Estimator.
+func (g *guarded) Estimate(st *sim.QuantumStats) []float64 {
+	out := g.inner.Estimate(st)
+	if len(g.prev) != len(out) {
+		g.prev = make([]float64, len(out))
+		for i := range g.prev {
+			g.prev[i] = 1
+		}
+	}
+	for a, v := range out {
+		if !finite(v) || v < 1 || v > maxSlowdown || corruptCounters(&st.Apps[a]) {
+			out[a] = clampSlowdown(1 + 0.5*(g.prev[a]-1))
+		}
+		g.prev[a] = out[a]
+	}
+	return out
+}
+
+// corruptCounters reports whether an app's float counters carry NaN/Inf.
+// Real accumulation never produces them (the sim sums finite deltas), so
+// a non-finite value means the snapshot was corrupted in flight and every
+// estimate derived from it is suspect.
+func corruptCounters(aq *sim.AppQuantum) bool {
+	return !finite(aq.MemInterfCycles) || !finite(aq.PFContentionExtra) ||
+		!finite(aq.ATSContentionExtra)
+}
+
+// finite reports whether x is neither NaN nor infinite.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"asmsim/internal/sim"
+)
+
+// fakeEst returns scripted estimates, one slice per call.
+type fakeEst struct {
+	outs [][]float64
+	call int
+}
+
+func (f *fakeEst) Name() string { return "FAKE" }
+func (f *fakeEst) Estimate(st *sim.QuantumStats) []float64 {
+	out := f.outs[f.call]
+	if f.call < len(f.outs)-1 {
+		f.call++
+	}
+	return append([]float64(nil), out...)
+}
+
+func cleanStats(apps int) *sim.QuantumStats {
+	return &sim.QuantumStats{Cycles: 1000, Apps: make([]sim.AppQuantum, apps)}
+}
+
+func TestSanitizePassThroughOnCleanData(t *testing.T) {
+	g := Sanitize(&fakeEst{outs: [][]float64{{1.5, 2.0}, {3.0, 1.0}}})
+	if g.Name() != "FAKE" {
+		t.Fatalf("name %q", g.Name())
+	}
+	st := cleanStats(2)
+	got := g.Estimate(st)
+	if got[0] != 1.5 || got[1] != 2.0 {
+		t.Fatalf("clean estimates altered: %v", got)
+	}
+	got = g.Estimate(st)
+	if got[0] != 3.0 || got[1] != 1.0 {
+		t.Fatalf("clean estimates altered: %v", got)
+	}
+}
+
+func TestSanitizeFallsBackOnNonFiniteOutput(t *testing.T) {
+	g := Sanitize(&fakeEst{outs: [][]float64{{3.0}, {math.NaN()}, {math.Inf(1)}}})
+	st := cleanStats(1)
+	if got := g.Estimate(st); got[0] != 3.0 {
+		t.Fatalf("first estimate %v", got)
+	}
+	// NaN output: decay from prev 3.0 -> 1 + 0.5*(3-1) = 2.
+	if got := g.Estimate(st); got[0] != 2.0 {
+		t.Fatalf("NaN fallback %v, want 2.0", got)
+	}
+	// Inf output: decay again, 1 + 0.5*(2-1) = 1.5.
+	if got := g.Estimate(st); got[0] != 1.5 {
+		t.Fatalf("Inf fallback %v, want 1.5", got)
+	}
+}
+
+func TestSanitizeFallsBackOnCorruptedCounters(t *testing.T) {
+	// The inner estimator returns a clean-looking value, but the input
+	// counters are corrupted — exactly what a stateless clamp would miss.
+	g := Sanitize(&fakeEst{outs: [][]float64{{4.0}, {1.2}, {1.2}}})
+	clean := cleanStats(1)
+	if got := g.Estimate(clean); got[0] != 4.0 {
+		t.Fatalf("clean estimate %v", got)
+	}
+	bad := cleanStats(1)
+	bad.Apps[0].MemInterfCycles = math.NaN()
+	if got := g.Estimate(bad); got[0] != 2.5 { // 1 + 0.5*(4-1)
+		t.Fatalf("corrupted-counter fallback %v, want 2.5", got)
+	}
+	bad2 := cleanStats(1)
+	bad2.Apps[0].PFContentionExtra = math.Inf(1)
+	if got := g.Estimate(bad2); got[0] != 1.75 { // 1 + 0.5*(2.5-1)
+		t.Fatalf("second fallback %v, want 1.75", got)
+	}
+}
+
+func TestSanitizeFirstQuantumCorruptionDecaysToOne(t *testing.T) {
+	// No previous estimate: the fallback decays from the neutral 1.
+	g := Sanitize(&fakeEst{outs: [][]float64{{math.NaN()}}})
+	if got := g.Estimate(cleanStats(1)); got[0] != 1.0 {
+		t.Fatalf("first-quantum fallback %v, want 1.0", got)
+	}
+}
+
+func TestSanitizeAllWrapsEverything(t *testing.T) {
+	es := SanitizeAll([]Estimator{NewASM(), &fakeEst{outs: [][]float64{{1}}}})
+	if len(es) != 2 {
+		t.Fatalf("%d estimators", len(es))
+	}
+	for _, e := range es {
+		if _, ok := e.(*guarded); !ok {
+			t.Fatalf("%s not wrapped", e.Name())
+		}
+	}
+}
+
+// TestSanitizedASMStaysFiniteUnderCorruption drives the real ASM model
+// with a corrupted snapshot and checks the guard holds the line.
+func TestSanitizedASMStaysFiniteUnderCorruption(t *testing.T) {
+	g := Sanitize(NewASM())
+	st := cleanStats(2)
+	st.Cycles = 100000
+	st.EpochLen = 1000
+	for a := range st.Apps {
+		st.Apps[a].Retired = 50000
+		st.Apps[a].L2Accesses = 1000
+		st.Apps[a].EpochCount = 10
+		st.Apps[a].EpochAccesses = 100
+	}
+	st.Apps[1].MemInterfCycles = math.NaN()
+	for _, v := range g.Estimate(st) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 1 || v > maxSlowdown {
+			t.Fatalf("sanitized estimate %v out of range", v)
+		}
+	}
+}

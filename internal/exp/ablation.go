@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"asmsim/internal/core"
@@ -12,21 +13,23 @@ import (
 // runAblEpoch compares probabilistic vs round-robin epoch assignment
 // (Section 4.2 says both achieve similar accuracy; the probabilistic
 // policy is kept because ASM-Mem builds on it).
-func runAblEpoch(sc Scale) (*Table, error) {
+func runAblEpoch(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 	t := &Table{
 		ID:     "abl-epoch",
 		Title:  "Ablation: epoch assignment policy (Section 4.2)",
 		Header: []string{"assignment", "ASM avg error"},
 	}
+	manifest := &Manifest{}
 	for _, rr := range []bool{false, true} {
 		cfg := sc.BaseConfig()
 		cfg.ATSSampledSets = 64
 		cfg.EpochRoundRobin = rr
-		samples, err := accuracySweep(cfg, mixes, sc)
+		samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(m)
 		name := "probabilistic"
 		if rr {
 			name = "round-robin"
@@ -34,12 +37,13 @@ func runAblEpoch(sc Scale) (*Table, error) {
 		t.AddRow(name, pct(MeanError(samples, "ASM")))
 	}
 	t.AddNote("paper: the two policies achieve similar effects; probabilistic assignment is what ASM-Mem generalizes")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runAblQueueing measures the value of ASM's Section 4.3 memory queueing
 // correction.
-func runAblQueueing(sc Scale) (*Table, error) {
+func runAblQueueing(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 64
@@ -48,22 +52,41 @@ func runAblQueueing(sc Scale) (*Table, error) {
 		Title:  "Ablation: Section 4.3 queueing-delay correction",
 		Header: []string{"variant", "ASM avg error"},
 	}
+	manifest := &Manifest{}
 	for _, disable := range []bool{false, true} {
 		dis := disable
 		newEst := func() []core.Estimator {
 			a := core.NewASM()
 			a.NoQueueingCorrection = dis
-			return []core.Estimator{a}
+			return core.SanitizeAll([]core.Estimator{a})
 		}
+		results := make([][]Sample, len(mixes))
+		fails, cancelled := forEach(ctx, len(mixes),
+			func(i int) string { return mixes[i].String() },
+			func(i int) error {
+				c := cfg
+				c.Seed = sc.Seed + uint64(i)*1000
+				s, err := RunAccuracy(ctx, c, mixes[i], newEst, sc)
+				if err != nil {
+					return err
+				}
+				results[i] = s
+				return nil
+			})
 		var all []Sample
-		for i, m := range mixes {
-			c := cfg
-			c.Seed = sc.Seed + uint64(i)*1000
-			s, err := RunAccuracy(c, m, newEst, sc)
-			if err != nil {
-				return nil, err
+		completed := 0
+		for _, s := range results {
+			if s != nil {
+				completed++
+				all = append(all, s...)
 			}
-			all = append(all, s...)
+		}
+		manifest.Merge(&Manifest{Total: len(mixes), Completed: completed, Failures: fails, Cancelled: cancelled})
+		if completed == 0 && len(mixes) > 0 {
+			if len(fails) > 0 {
+				return nil, fmt.Errorf("exp: sweep produced no results: %w", fails[0])
+			}
+			return nil, fmt.Errorf("exp: sweep cancelled before any mix completed: %w", ctx.Err())
 		}
 		name := "with correction"
 		if dis {
@@ -72,25 +95,28 @@ func runAblQueueing(sc Scale) (*Table, error) {
 		t.AddRow(name, pct(MeanError(all, "ASM")))
 	}
 	t.AddNote("the correction matters most at higher core counts (Section 6.5); even at 4 cores it should not hurt")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runAblATS sweeps the auxiliary-tag-store sampling budget (Section 4.4
 // claims 64 sampled sets lose almost nothing vs a full ATS).
-func runAblATS(sc Scale) (*Table, error) {
+func runAblATS(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 	t := &Table{
 		ID:     "abl-ats",
 		Title:  "Ablation: ATS sampled-set budget (Section 4.4)",
 		Header: []string{"sampled sets", "ASM avg error", "PTCA avg error"},
 	}
+	manifest := &Manifest{}
 	for _, sets := range []int{8, 32, 64, 256, 0} {
 		cfg := sc.BaseConfig()
 		cfg.ATSSampledSets = sets
-		samples, err := accuracySweep(cfg, mixes, sc)
+		samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(m)
 		label := fmt.Sprint(sets)
 		if sets == 0 {
 			label = "full"
@@ -98,13 +124,17 @@ func runAblATS(sc Scale) (*Table, error) {
 		t.AddRow(label, pct(MeanError(samples, "ASM")), pct(MeanError(samples, "PTCA")))
 	}
 	t.AddNote("paper: sampling barely moves ASM (9.0%% -> 9.9%%) but destroys PTCA (14.7%% -> 40.4%%)")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runAblCARn validates the Section 7.1 CAR_n model directly: predict an
 // app's cache access rate under a forced way allocation from an
 // unpartitioned run, then actually enforce that allocation and measure.
-func runAblCARn(sc Scale) (*Table, error) {
+func runAblCARn(ctx context.Context, sc Scale) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mix := workload.Mix{Names: []string{"bzip2", "mcf", "soplex", "h264ref"}}
 	specs := mix.Specs()
 	cfg := sc.BaseConfig()
@@ -128,7 +158,9 @@ func runAblCARn(sc Scale) (*Table, error) {
 			preds[n] = core.CARAtWays(st, 0, n)
 		}
 	})
-	sys.RunQuanta(sc.TotalQuanta())
+	if err := runQuanta(ctx, sys, sc.TotalQuanta()); err != nil {
+		return nil, fmt.Errorf("exp: abl-carn pass 1: %w", err)
+	}
 
 	t := &Table{
 		ID:     "abl-carn",
@@ -150,7 +182,9 @@ func runAblCARn(sc Scale) (*Table, error) {
 			}
 			accesses += st.Apps[0].L2Accesses
 		})
-		sys2.RunQuanta(sc.TotalQuanta())
+		if err := runQuanta(ctx, sys2, sc.TotalQuanta()); err != nil {
+			return nil, fmt.Errorf("exp: abl-carn pass 2 (%d ways): %w", n, err)
+		}
 		measured := float64(accesses) / float64(uint64(sc.MeasuredQuanta)*cfg.Quantum)
 		rel := 0.0
 		if measured > 0 {
@@ -183,30 +217,42 @@ func spreadAllocation(n, apps, ways int) []int {
 // runAblSTFM compares the full estimator lineup including the STFM-style
 // memory-only per-request model, isolating what each modeling ingredient
 // buys (per-request vs aggregate x memory-only vs memory+cache).
-func runAblSTFM(sc Scale) (*Table, error) {
+func runAblSTFM(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 0
 	results := make([][]Sample, len(mixes))
-	err := forEach(len(mixes), func(i int) error {
-		c := cfg
-		c.Seed = sc.Seed + uint64(i)*1000
-		s, err := RunAccuracy(c, mixes[i], func() []core.Estimator {
-			return []core.Estimator{core.NewASM(), model.NewFST(), model.NewPTCA(),
-				model.NewMISE(), model.NewSTFM(), model.NewRegression()}
-		}, sc)
-		if err != nil {
-			return err
-		}
-		results[i] = s
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	fails, cancelled := forEach(ctx, len(mixes),
+		func(i int) string { return mixes[i].String() },
+		func(i int) error {
+			c := cfg
+			c.Seed = sc.Seed + uint64(i)*1000
+			s, err := RunAccuracy(ctx, c, mixes[i], func() []core.Estimator {
+				return core.SanitizeAll([]core.Estimator{
+					core.NewASM(), model.NewFST(), model.NewPTCA(),
+					model.NewMISE(), model.NewSTFM(), model.NewRegression(),
+				})
+			}, sc)
+			if err != nil {
+				return err
+			}
+			results[i] = s
+			return nil
+		})
 	var all []Sample
+	completed := 0
 	for _, s := range results {
-		all = append(all, s...)
+		if s != nil {
+			completed++
+			all = append(all, s...)
+		}
+	}
+	m := &Manifest{Total: len(mixes), Completed: completed, Failures: fails, Cancelled: cancelled}
+	if completed == 0 && len(mixes) > 0 {
+		if len(fails) > 0 {
+			return nil, fmt.Errorf("exp: sweep produced no results: %w", fails[0])
+		}
+		return nil, fmt.Errorf("exp: sweep cancelled before any mix completed: %w", ctx.Err())
 	}
 	t := &Table{
 		ID:     "abl-models",
@@ -219,5 +265,6 @@ func runAblSTFM(sc Scale) (*Table, error) {
 	t.AddRow("PTCA", "per-request", "memory+cache", pct(MeanError(all, "PTCA")))
 	t.AddRow("MISE", "aggregate", "memory", pct(MeanError(all, "MISE")))
 	t.AddRow("ASM", "aggregate", "memory+cache", pct(MeanError(all, "ASM")))
+	attach(t, m)
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,9 +12,14 @@ import (
 	"asmsim/internal/workload"
 )
 
-// estASM builds the estimator set used by the accuracy experiments.
+// estAll builds the estimator set used by the accuracy experiments. Every
+// estimator runs behind the core.Sanitize guard, so NaN/Inf from a
+// corrupted counter snapshot degrades to the previous quantum's estimate
+// instead of poisoning the sweep (a pass-through on clean counters).
 func estAll() []core.Estimator {
-	return []core.Estimator{core.NewASM(), model.NewFST(), model.NewPTCA(), model.NewMISE()}
+	return core.SanitizeAll([]core.Estimator{
+		core.NewASM(), model.NewFST(), model.NewPTCA(), model.NewMISE(),
+	})
 }
 
 // suitePool returns the SPEC+NAS benchmarks the paper draws workloads from.
@@ -23,27 +29,42 @@ func suitePool() []workload.Spec {
 }
 
 // accuracySweep runs the estimator set over all mixes under cfg and
-// returns the pooled samples.
-func accuracySweep(cfg sim.Config, mixes []workload.Mix, sc Scale) ([]Sample, error) {
+// returns the pooled samples from the mixes that completed, plus a
+// manifest of the ones that did not. It returns an error only when no
+// mix completed at all.
+func accuracySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, sc Scale) ([]Sample, *Manifest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([][]Sample, len(mixes))
-	err := forEach(len(mixes), func(i int) error {
-		c := cfg
-		c.Seed = sc.Seed + uint64(i)*1000
-		s, err := RunAccuracy(c, mixes[i], estAll, sc)
-		if err != nil {
-			return fmt.Errorf("mix %s: %w", mixes[i], err)
-		}
-		results[i] = s
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	fails, cancelled := forEach(ctx, len(mixes),
+		func(i int) string { return mixes[i].String() },
+		func(i int) error {
+			c := cfg
+			c.Seed = sc.Seed + uint64(i)*1000
+			s, err := RunAccuracy(ctx, c, mixes[i], estAll, sc)
+			if err != nil {
+				return err
+			}
+			results[i] = s
+			return nil
+		})
 	var all []Sample
+	completed := 0
 	for _, s := range results {
-		all = append(all, s...)
+		if s != nil {
+			completed++
+			all = append(all, s...)
+		}
 	}
-	return all, nil
+	m := &Manifest{Total: len(mixes), Completed: completed, Failures: fails, Cancelled: cancelled}
+	if completed == 0 && len(mixes) > 0 {
+		if len(fails) > 0 {
+			return nil, m, fmt.Errorf("exp: sweep produced no results: %w", fails[0])
+		}
+		return nil, m, fmt.Errorf("exp: sweep cancelled before any mix completed: %w", ctx.Err())
+	}
+	return all, m, nil
 }
 
 // perBenchTable renders a Figure 2/3-style table: per-benchmark error for
@@ -87,50 +108,52 @@ func perBenchTable(id, title string, samples []Sample, estimators []string) *Tab
 
 // runFig2 reproduces Figure 2: slowdown estimation accuracy with no ATS
 // sampling (and an equal-overhead pollution filter for FST).
-func runFig2(sc Scale) (*Table, error) {
+func runFig2(ctx context.Context, sc Scale) (*Table, error) {
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 0
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
-	samples, err := accuracySweep(cfg, mixes, sc)
+	samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
 	t := perBenchTable("fig2", "Slowdown estimation error, unsampled ATS (Figure 2)",
 		samples, []string{"FST", "PTCA", "ASM"})
 	t.AddNote("paper averages: FST 18.5%%, PTCA 14.7%%, ASM 9.0%%")
+	attach(t, m)
 	return t, nil
 }
 
 // runFig3 reproduces Figure 3: accuracy with a 64-set sampled ATS and an
 // equal-size pollution filter.
-func runFig3(sc Scale) (*Table, error) {
+func runFig3(ctx context.Context, sc Scale) (*Table, error) {
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 64
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
-	samples, err := accuracySweep(cfg, mixes, sc)
+	samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
 	t := perBenchTable("fig3", "Slowdown estimation error, sampled ATS 64 sets (Figure 3)",
 		samples, []string{"FST", "PTCA", "ASM"})
 	t.AddNote("paper averages: FST 29.4%%, PTCA 40.4%%, ASM 9.9%%")
+	attach(t, m)
 	return t, nil
 }
 
 // runFig4 reproduces Figure 4: the distribution of estimation error, with
 // FST/PTCA unsampled and ASM sampled, as in the paper.
-func runFig4(sc Scale) (*Table, error) {
+func runFig4(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 
 	unsampled := sc.BaseConfig()
 	unsampled.ATSSampledSets = 0
-	su, err := accuracySweep(unsampled, mixes, sc)
+	su, mu, err := accuracySweep(ctx, unsampled, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
 	sampled := sc.BaseConfig()
 	sampled.ATSSampledSets = 64
-	ss, err := accuracySweep(sampled, mixes, sc)
+	ss, ms, err := accuracySweep(ctx, sampled, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +162,10 @@ func runFig4(sc Scale) (*Table, error) {
 		h := stats.NewHistogram(0, 10, 10) // 0-100% in 10% buckets
 		maxErr := 0.0
 		for _, s := range samples {
-			e := s.Error(est)
+			e, ok := s.Error(est)
+			if !ok {
+				continue
+			}
 			h.Add(e)
 			if e > maxErr {
 				maxErr = e
@@ -167,17 +193,18 @@ func runFig4(sc Scale) (*Table, error) {
 	t.AddRow("<=20%", pct(within20(hFST)), pct(within20(hPTCA)), pct(within20(hASM)))
 	t.AddRow("max error", pct(mFST), pct(mPTCA), pct(mASM))
 	t.AddNote("paper: 76.25%%/79.25%%/95.25%% of FST/PTCA/ASM estimates within 20%%; max errors 133%%/87%%/36%%")
+	attach(t, mu, ms)
 	return t, nil
 }
 
 // runFig5 reproduces Figure 5: accuracy with a stride prefetcher (degree
 // 4, distance 24), unsampled structures.
-func runFig5(sc Scale) (*Table, error) {
+func runFig5(ctx context.Context, sc Scale) (*Table, error) {
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 0
 	cfg.Prefetch = true
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
-	samples, err := accuracySweep(cfg, mixes, sc)
+	samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -189,28 +216,31 @@ func runFig5(sc Scale) (*Table, error) {
 	for _, e := range []string{"FST", "PTCA", "ASM"} {
 		var errs []float64
 		for _, s := range samples {
-			errs = append(errs, s.Error(e))
+			if v, ok := s.Error(e); ok {
+				errs = append(errs, v)
+			}
 		}
 		t.AddRow(e, pct(stats.Mean(errs)), pct(stats.Std(errs)))
 	}
 	t.AddNote("paper: FST 20%%, PTCA 15%%, ASM 7.5%%")
+	attach(t, m)
 	return t, nil
 }
 
 // runDBAcc reproduces the Section 6 text experiment on database
 // workloads (TPC-C, YCSB): FST/PTCA unsampled, ASM sampled.
-func runDBAcc(sc Scale) (*Table, error) {
+func runDBAcc(ctx context.Context, sc Scale) (*Table, error) {
 	mixes := workload.RandomMixes(workload.DB(), 4, sc.Workloads, sc.Seed)
 
 	unsampled := sc.BaseConfig()
 	unsampled.ATSSampledSets = 0
-	su, err := accuracySweep(unsampled, mixes, sc)
+	su, mu, err := accuracySweep(ctx, unsampled, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
 	sampled := sc.BaseConfig()
 	sampled.ATSSampledSets = 64
-	ss, err := accuracySweep(sampled, mixes, sc)
+	ss, ms, err := accuracySweep(ctx, sampled, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -223,17 +253,19 @@ func runDBAcc(sc Scale) (*Table, error) {
 	t.AddRow("PTCA (unsampled)", pct(MeanError(su, "PTCA")))
 	t.AddRow("ASM (sampled)", pct(MeanError(ss, "ASM")))
 	t.AddNote("paper: FST 27%%, PTCA 12%%, ASM 4%%")
+	attach(t, mu, ms)
 	return t, nil
 }
 
 // runFig7 reproduces Figure 7: error vs core count (4/8/16), FST/PTCA
 // unsampled and ASM sampled as in the paper's sensitivity studies.
-func runFig7(sc Scale) (*Table, error) {
+func runFig7(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Estimation error vs core count (Figure 7)",
 		Header: []string{"cores", "FST", "FST std", "PTCA", "PTCA std", "ASM", "ASM std"},
 	}
+	manifest := &Manifest{}
 	for _, cores := range []int{4, 8, 16} {
 		n := scaledWorkloads(sc, cores)
 		mixes := workload.RandomMixes(suitePool(), cores, n, sc.Seed+uint64(cores))
@@ -241,16 +273,18 @@ func runFig7(sc Scale) (*Table, error) {
 
 		unsampled := sc.BaseConfig()
 		unsampled.ATSSampledSets = 0
-		su, err := accuracySweep(unsampled, mixes, sc)
+		su, mu, err := accuracySweep(ctx, unsampled, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
 		sampled := sc.BaseConfig()
 		sampled.ATSSampledSets = 64
-		ss, err := accuracySweep(sampled, mixes, sc)
+		ss, ms, err := accuracySweep(ctx, sampled, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(mu)
+		manifest.Merge(ms)
 		row := []string{fmt.Sprint(cores)}
 		for _, pair := range []struct {
 			est     string
@@ -258,49 +292,56 @@ func runFig7(sc Scale) (*Table, error) {
 		}{{"FST", su}, {"PTCA", su}, {"ASM", ss}} {
 			var errs []float64
 			for _, s := range pair.samples {
-				errs = append(errs, s.Error(pair.est))
+				if v, ok := s.Error(pair.est); ok {
+					errs = append(errs, v)
+				}
 			}
 			row = append(row, pct(stats.Mean(errs)), pct(stats.Std(errs)))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: error grows with core count for all models; ASM stays lowest with the smallest spread")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runFig8 reproduces Figure 8: error vs shared cache capacity (1/2/4 MB).
-func runFig8(sc Scale) (*Table, error) {
+func runFig8(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Estimation error vs cache size (Figure 8)",
 		Header: []string{"cache", "FST", "PTCA", "ASM"},
 	}
+	manifest := &Manifest{}
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
 	for _, mbytes := range []int{1, 2, 4} {
 		unsampled := sc.BaseConfig()
 		unsampled.L2Bytes = mbytes << 20
 		unsampled.ATSSampledSets = 0
-		su, err := accuracySweep(unsampled, mixes, sc)
+		su, mu, err := accuracySweep(ctx, unsampled, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
 		sampled := unsampled
 		sampled.ATSSampledSets = 64
-		ss, err := accuracySweep(sampled, mixes, sc)
+		ss, ms, err := accuracySweep(ctx, sampled, mixes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(mu)
+		manifest.Merge(ms)
 		t.AddRow(fmt.Sprintf("%dMB", mbytes),
 			pct(MeanError(su, "FST")), pct(MeanError(su, "PTCA")), pct(MeanError(ss, "ASM")))
 	}
 	t.AddNote("paper: ASM significantly more accurate across all cache capacities")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runTab3 reproduces Table 3: ASM error sensitivity to quantum and epoch
 // lengths. Quick scale shrinks the quantum values proportionally (the
 // trend is governed by the epoch count Q/E); full scale uses the paper's.
-func runTab3(sc Scale) (*Table, error) {
+func runTab3(ctx context.Context, sc Scale) (*Table, error) {
 	quanta := []uint64{1_000_000, 5_000_000, 10_000_000}
 	if sc.Quantum < 5_000_000 {
 		quanta = []uint64{500_000, 1_000_000, 2_000_000}
@@ -316,6 +357,7 @@ func runTab3(sc Scale) (*Table, error) {
 	if nmix > 4 {
 		nmix = 4 // 12-cell grid: bound the quick-mode cost
 	}
+	manifest := &Manifest{}
 	mixes := workload.RandomMixes(suitePool(), 4, nmix, sc.Seed)
 	for _, q := range quanta {
 		row := []string{fmt.Sprint(q)}
@@ -335,25 +377,27 @@ func runTab3(sc Scale) (*Table, error) {
 			}
 			cellSc.WarmupQuanta = 1
 			cellSc.MeasuredQuanta = total - 1
-			samples, err := accuracySweep(cfg, mixes, cellSc)
+			samples, m, err := accuracySweep(ctx, cfg, mixes, cellSc)
 			if err != nil {
 				return nil, err
 			}
+			manifest.Merge(m)
 			row = append(row, pct(MeanError(samples, "ASM")))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("paper Table 3: error rises as quantum shrinks or epoch grows (fewer epochs); very short epochs (1000) are worst")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runMISE reproduces the Section 6.4 comparison: epoch-based aggregation
 // alone (MISE, memory-only) vs ASM (memory + cache).
-func runMISE(sc Scale) (*Table, error) {
+func runMISE(ctx context.Context, sc Scale) (*Table, error) {
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 64
 	mixes := workload.RandomMixes(suitePool(), 4, sc.Workloads, sc.Seed)
-	samples, err := accuracySweep(cfg, mixes, sc)
+	samples, m, err := accuracySweep(ctx, cfg, mixes, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +409,7 @@ func runMISE(sc Scale) (*Table, error) {
 	t.AddRow("MISE (memory only)", pct(MeanError(samples, "MISE")))
 	t.AddRow("ASM (memory + cache)", pct(MeanError(samples, "ASM")))
 	t.AddNote("paper: MISE 22%%, ASM 9.9%%")
+	attach(t, m)
 	return t, nil
 }
 

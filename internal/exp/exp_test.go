@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,11 +68,16 @@ func TestByID(t *testing.T) {
 
 func TestSampleError(t *testing.T) {
 	s := Sample{Actual: 2, Est: map[string]float64{"ASM": 2.2}}
-	if e := s.Error("ASM"); e < 9.99 || e > 10.01 {
-		t.Fatalf("error %v, want 10", e)
+	e, ok := s.Error("ASM")
+	if !ok || e < 9.99 || e > 10.01 {
+		t.Fatalf("error %v ok %v, want 10 true", e, ok)
 	}
-	if s.Error("missing") != 0 {
-		t.Fatal("missing estimator must yield 0")
+	if _, ok := s.Error("missing"); ok {
+		t.Fatal("missing estimator must be invalid")
+	}
+	bad := Sample{Actual: 0, Est: map[string]float64{"ASM": 2.2}}
+	if _, ok := bad.Error("ASM"); ok {
+		t.Fatal("non-positive actual must be invalid, not a free 0% error")
 	}
 }
 
@@ -93,7 +99,7 @@ func TestRunAccuracyEndToEnd(t *testing.T) {
 	cfg := sc.BaseConfig()
 	cfg.ATSSampledSets = 64
 	mix := workload.Mix{Names: []string{"mcf", "libquantum", "bzip2", "h264ref"}}
-	samples, err := RunAccuracy(cfg, mix, estAll, sc)
+	samples, err := RunAccuracy(context.Background(), cfg, mix, estAll, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +121,7 @@ func TestRunAccuracyEndToEnd(t *testing.T) {
 func TestRunPolicyEndToEnd(t *testing.T) {
 	sc := tinyScale()
 	mix := workload.Mix{Names: []string{"bzip2", "libquantum"}}
-	out, err := RunPolicy(sc.BaseConfig(), mix, schemeNoPart(), sc)
+	out, err := RunPolicy(context.Background(), sc.BaseConfig(), mix, schemeNoPart(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,12 +150,12 @@ func TestMeanErrorAndGrouping(t *testing.T) {
 
 func TestForEachCollectsErrors(t *testing.T) {
 	count := 0
-	err := forEach(5, func(i int) error {
+	fails, cancelled := forEach(context.Background(), 5, nil, func(i int) error {
 		count++
 		return nil
 	})
-	if err != nil || count != 5 {
-		t.Fatalf("err %v count %d", err, count)
+	if len(fails) != 0 || cancelled || count != 5 {
+		t.Fatalf("fails %v cancelled %v count %d", fails, cancelled, count)
 	}
 }
 
@@ -208,12 +214,15 @@ func TestExperimentsSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		table, err := e.Run(sc)
+		table, err := e.Run(context.Background(), sc)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if len(table.Rows) == 0 {
 			t.Fatalf("%s produced no rows", id)
+		}
+		if table.Partial() {
+			t.Fatalf("%s unexpectedly partial: %v", id, table.Failures)
 		}
 		if table.ID != id {
 			t.Fatalf("%s: table id %q", id, table.ID)
@@ -233,11 +242,11 @@ func TestExperimentDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t1, err := e.Run(sc)
+	t1, err := e.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := e.Run(sc)
+	t2, err := e.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

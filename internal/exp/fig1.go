@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"asmsim/internal/sim"
@@ -18,7 +19,7 @@ import (
 // The paper ran this on an Intel Core-i5 with a 6 MB cache; we run the
 // identical protocol on the simulated Table 2 system (see DESIGN.md's
 // substitution table).
-func runFig1(sc Scale) (*Table, error) {
+func runFig1(ctx context.Context, sc Scale) (*Table, error) {
 	apps := []string{"bzip2", "sphinx3", "soplex"}
 	t := &Table{
 		ID:     "fig1",
@@ -37,14 +38,14 @@ func runFig1(sc Scale) (*Table, error) {
 		perfs := []float64{1}
 
 		// Alone baseline.
-		aloneCAR, aloneIPC, err := measureCARPerf(sc, []workload.Spec{spec}, warm, measure)
+		aloneCAR, aloneIPC, err := measureCARPerf(ctx, sc, []workload.Spec{spec}, warm, measure)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(name, "alone", f3(1), f3(1))
 
 		for level := 0; level < workload.HogLevels; level++ {
-			car, ipc, err := measureCARPerf(sc, []workload.Spec{spec, workload.Hog(level)}, warm, measure)
+			car, ipc, err := measureCARPerf(ctx, sc, []workload.Spec{spec, workload.Hog(level)}, warm, measure)
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +62,7 @@ func runFig1(sc Scale) (*Table, error) {
 
 // measureCARPerf runs the given specs (app of interest first) and returns
 // app 0's shared-cache access rate and IPC over the measured window.
-func measureCARPerf(sc Scale, specs []workload.Spec, warm, measure int) (car, ipc float64, err error) {
+func measureCARPerf(ctx context.Context, sc Scale, specs []workload.Spec, warm, measure int) (car, ipc float64, err error) {
 	cfg := sc.BaseConfig()
 	cfg.Cores = len(specs)
 	cfg.EpochPriority = false
@@ -78,7 +79,9 @@ func measureCARPerf(sc Scale, specs []workload.Spec, warm, measure int) (car, ip
 		accesses += st.Apps[0].L2Accesses
 		retired += st.Apps[0].Retired
 	})
-	sys.RunQuanta(warm + measure)
+	if err := runQuanta(ctx, sys, warm+measure); err != nil {
+		return 0, 0, err
+	}
 	cycles := float64(uint64(measure) * cfg.Quantum)
 	return float64(accesses) / cycles, float64(retired) / cycles, nil
 }

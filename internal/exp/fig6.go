@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"asmsim/internal/sim"
@@ -21,7 +22,7 @@ func latHist() *stats.Histogram { return stats.NewHistogram(50, 50, 15) }
 // auxiliary-tag-store sampling. Under sampling the per-request models can
 // only see requests that map to sampled sets, which is what degrades their
 // distributions in the paper; ASM's aggregate estimate is unaffected.
-func runFig6(sc Scale) (*Table, error) {
+func runFig6(ctx context.Context, sc Scale) (*Table, error) {
 	nmix := sc.Workloads
 	if nmix > 6 {
 		nmix = 6
@@ -40,7 +41,7 @@ func runFig6(sc Scale) (*Table, error) {
 				continue
 			}
 			seen[spec.Name] = true
-			if err := collectAloneLatencies(sc, spec, actual); err != nil {
+			if err := collectAloneLatencies(ctx, sc, spec, actual); err != nil {
 				return nil, err
 			}
 		}
@@ -50,11 +51,11 @@ func runFig6(sc Scale) (*Table, error) {
 		cfg := sc.BaseConfig()
 		cfg.ATSSampledSets = 0
 		cfg.Seed = sc.Seed + uint64(i)*1000
-		if err := collectEstimates(sc, cfg, m, fstU, ptcaU, asmU, false); err != nil {
+		if err := collectEstimates(ctx, sc, cfg, m, fstU, ptcaU, asmU, false); err != nil {
 			return nil, err
 		}
 		cfg.ATSSampledSets = 64
-		if err := collectEstimates(sc, cfg, m, fstS, ptcaS, asmS, true); err != nil {
+		if err := collectEstimates(ctx, sc, cfg, m, fstS, ptcaS, asmS, true); err != nil {
 			return nil, err
 		}
 	}
@@ -83,7 +84,7 @@ func runFig6(sc Scale) (*Table, error) {
 
 // collectAloneLatencies runs spec alone and records its post-warmup miss
 // service times.
-func collectAloneLatencies(sc Scale, spec workload.Spec, h *stats.Histogram) error {
+func collectAloneLatencies(ctx context.Context, sc Scale, spec workload.Spec, h *stats.Histogram) error {
 	cfg := sc.BaseConfig()
 	cfg.Cores = 1
 	cfg.EpochPriority = false
@@ -99,15 +100,14 @@ func collectAloneLatencies(sc Scale, spec workload.Spec, h *stats.Histogram) err
 		}
 		h.Add(float64(ev.Latency))
 	})
-	sys.RunQuanta(sc.TotalQuanta())
-	return nil
+	return runQuanta(ctx, sys, sc.TotalQuanta())
 }
 
 // collectEstimates runs a shared mix and records each model's estimated
 // alone miss service times. When sampledOnly is set, the per-request
 // models only observe requests that map to sampled ATS sets (the hardware
 // only has per-request latch state there).
-func collectEstimates(sc Scale, cfg sim.Config, mix workload.Mix, fst, ptca, asm *stats.Histogram, sampledOnly bool) error {
+func collectEstimates(ctx context.Context, sc Scale, cfg sim.Config, mix workload.Mix, fst, ptca, asm *stats.Histogram, sampledOnly bool) error {
 	specs := mix.Specs()
 	cfg.Cores = len(specs)
 	sys, err := sim.New(cfg, specs)
@@ -146,7 +146,9 @@ func collectEstimates(sc Scale, cfg sim.Config, mix workload.Mix, fst, ptca, asm
 			asm.Add(float64(ev.Latency))
 		}
 	})
-	sys.RunQuanta(sc.TotalQuanta())
+	if err := runQuanta(ctx, sys, sc.TotalQuanta()); err != nil {
+		return err
+	}
 	if fst.N() == 0 {
 		return fmt.Errorf("exp: fig6 mix %s produced no misses", mix)
 	}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ItemError records the failure of one item (workload mix) in a sweep:
+// which index failed, under what name, and why. Worker panics are
+// converted to these, so one bad workload costs one item, not the sweep.
+type ItemError struct {
+	Index int
+	Name  string
+	Err   error
+}
+
+// Error implements error.
+func (e ItemError) Error() string { return fmt.Sprintf("item %d (%s): %v", e.Index, e.Name, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e ItemError) Unwrap() error { return e.Err }
+
+// Manifest reports how a sweep went. A 100-mix sweep that loses 3 mixes
+// returns 97 mixes' samples plus this manifest, rather than nothing:
+// callers decide whether partial coverage is acceptable and surface the
+// failures either way.
+type Manifest struct {
+	// Total is the number of items the sweep was asked to run.
+	Total int
+	// Completed is the number that produced results.
+	Completed int
+	// Failures lists every item that ran and failed, sorted by index.
+	Failures []ItemError
+	// Cancelled is true when the sweep stopped early on context
+	// cancellation; items never started count in neither Completed nor
+	// Failures.
+	Cancelled bool
+}
+
+// Ok reports whether the sweep completed fully (a nil manifest is ok).
+func (m *Manifest) Ok() bool {
+	return m == nil || (len(m.Failures) == 0 && !m.Cancelled && m.Completed == m.Total)
+}
+
+// Merge folds another sweep's manifest into this one (experiments often
+// run several sweeps per table).
+func (m *Manifest) Merge(other *Manifest) {
+	if other == nil {
+		return
+	}
+	m.Total += other.Total
+	m.Completed += other.Completed
+	m.Failures = append(m.Failures, other.Failures...)
+	m.Cancelled = m.Cancelled || other.Cancelled
+}
+
+// Summary renders the manifest for logs and table footers.
+func (m *Manifest) Summary() string {
+	if m.Ok() {
+		return fmt.Sprintf("completed %d/%d", m.Completed, m.Total)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed %d/%d", m.Completed, m.Total)
+	if m.Cancelled {
+		b.WriteString(", cancelled")
+	}
+	if len(m.Failures) > 0 {
+		fmt.Fprintf(&b, ", %d failed", len(m.Failures))
+	}
+	return b.String()
+}
+
+// attach marks a table partial when any of the given sweeps lost items,
+// recording each failure so cmd/experiments can exit non-zero with a
+// failure summary.
+func attach(t *Table, manifests ...*Manifest) {
+	merged := &Manifest{}
+	for _, m := range manifests {
+		merged.Merge(m)
+	}
+	if merged.Ok() {
+		return
+	}
+	for _, f := range merged.Failures {
+		t.Failures = append(t.Failures, f.Error())
+	}
+	if merged.Cancelled {
+		t.Failures = append(t.Failures, "sweep cancelled before completion")
+	}
+	t.AddNote("PARTIAL RESULTS: %s", merged.Summary())
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"asmsim/internal/partition"
@@ -17,31 +18,55 @@ type policyResult struct {
 	HarmonicSpeedup float64
 }
 
-func policySweep(cfg sim.Config, mixes []workload.Mix, schemes []Scheme, sc Scale) (map[string]policyResult, error) {
-	type cell struct{ ms, hs []float64 }
-	cells := make([]map[string]*cell, len(mixes))
-	err := forEach(len(mixes), func(i int) error {
-		cells[i] = map[string]*cell{}
-		for _, scheme := range schemes {
-			c := cfg
-			c.Seed = sc.Seed + uint64(i)*1000
-			out, err := RunPolicy(c, mixes[i], scheme, sc)
-			if err != nil {
-				return fmt.Errorf("mix %s scheme %s: %w", mixes[i], scheme.Name, err)
-			}
-			cells[i][scheme.Name] = &cell{ms: []float64{out.MaxSlowdown}, hs: []float64{out.HarmonicSpeedup}}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+// policySweep aggregates over the mixes whose every scheme completed (a
+// mix missing any scheme would skew the scheme-vs-scheme comparison) and
+// reports the lost mixes in the manifest. It errors only when no mix
+// completed at all.
+func policySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, schemes []Scheme, sc Scale) (map[string]policyResult, *Manifest, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	type cell struct{ ms, hs float64 }
+	cells := make([]map[string]cell, len(mixes))
+	fails, cancelled := forEach(ctx, len(mixes),
+		func(i int) string { return mixes[i].String() },
+		func(i int) error {
+			got := map[string]cell{}
+			for _, scheme := range schemes {
+				c := cfg
+				c.Seed = sc.Seed + uint64(i)*1000
+				out, err := RunPolicy(ctx, c, mixes[i], scheme, sc)
+				if err != nil {
+					return fmt.Errorf("scheme %s: %w", scheme.Name, err)
+				}
+				got[scheme.Name] = cell{ms: out.MaxSlowdown, hs: out.HarmonicSpeedup}
+			}
+			cells[i] = got
+			return nil
+		})
 	res := map[string]policyResult{}
+	completed := 0
+	for i := range mixes {
+		if cells[i] != nil {
+			completed++
+		}
+	}
+	m := &Manifest{Total: len(mixes), Completed: completed, Failures: fails, Cancelled: cancelled}
+	if completed == 0 && len(mixes) > 0 {
+		if len(fails) > 0 {
+			return nil, m, fmt.Errorf("exp: policy sweep produced no results: %w", fails[0])
+		}
+		return nil, m, fmt.Errorf("exp: policy sweep cancelled before any mix completed: %w", ctx.Err())
+	}
 	for _, scheme := range schemes {
 		var ms, hs []float64
 		for i := range mixes {
-			ms = append(ms, cells[i][scheme.Name].ms...)
-			hs = append(hs, cells[i][scheme.Name].hs...)
+			if cells[i] == nil {
+				continue
+			}
+			c := cells[i][scheme.Name]
+			ms = append(ms, c.ms)
+			hs = append(hs, c.hs)
 		}
 		res[scheme.Name] = policyResult{
 			MaxSlowdown:     stats.Mean(ms),
@@ -49,7 +74,7 @@ func policySweep(cfg sim.Config, mixes []workload.Mix, schemes []Scheme, sc Scal
 			HarmonicSpeedup: stats.Mean(hs),
 		}
 	}
-	return res, nil
+	return res, m, nil
 }
 
 // Cache partitioning schemes of Section 7.1.2.
@@ -159,32 +184,35 @@ func schemePARBSUCP() Scheme {
 // runFig9 reproduces Figure 9: ASM-Cache vs NoPart, UCP and MCFQ across
 // core counts, on unfairness (max slowdown) and performance (harmonic
 // speedup).
-func runFig9(sc Scale) (*Table, error) {
+func runFig9(ctx context.Context, sc Scale) (*Table, error) {
 	schemes := []Scheme{schemeNoPart(), schemeUCP(), schemeMCFQ(), schemeASMCache()}
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Slowdown-aware cache partitioning (Figure 9)",
 		Header: []string{"cores", "scheme", "max slowdown", "(std)", "harmonic speedup"},
 	}
+	manifest := &Manifest{}
 	for _, cores := range []int{4, 8, 16} {
 		n := scaledWorkloads(sc, cores)
 		mixes := workload.RandomMixes(suitePool(), cores, n, sc.Seed+uint64(cores))
 		sc := scaleQuantumForCores(sc, cores)
-		res, err := policySweep(sc.BaseConfig(), mixes, schemes, sc)
+		res, m, err := policySweep(ctx, sc.BaseConfig(), mixes, schemes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(m)
 		for _, s := range schemes {
 			r := res[s.Name]
 			t.AddRow(fmt.Sprint(cores), s.Name, f2(r.MaxSlowdown), f2(r.MaxSlowdownStd), f3(r.HarmonicSpeedup))
 		}
 	}
 	t.AddNote("paper: ASM-Cache reduces unfairness vs UCP (by 12.5%% at 8 cores, 15.8%% at 16) with comparable/better performance; MCFQ degrades on memory-intensive workloads")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runFig10 reproduces Figure 10: ASM-Mem vs FRFCFS, PARBS and TCM.
-func runFig10(sc Scale) (*Table, error) {
+func runFig10(ctx context.Context, sc Scale) (*Table, error) {
 	schemes := []Scheme{
 		schemeSched("FRFCFS", sim.PolicyFRFCFS),
 		schemeSched("PARBS", sim.PolicyPARBS),
@@ -196,27 +224,30 @@ func runFig10(sc Scale) (*Table, error) {
 		Title:  "Slowdown-aware memory bandwidth partitioning (Figure 10)",
 		Header: []string{"cores", "scheme", "max slowdown", "(std)", "harmonic speedup"},
 	}
+	manifest := &Manifest{}
 	for _, cores := range []int{4, 8, 16} {
 		n := scaledWorkloads(sc, cores)
 		mixes := workload.RandomMixes(suitePool(), cores, n, sc.Seed+uint64(cores))
 		sc := scaleQuantumForCores(sc, cores)
-		res, err := policySweep(sc.BaseConfig(), mixes, schemes, sc)
+		res, m, err := policySweep(ctx, sc.BaseConfig(), mixes, schemes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(m)
 		for _, s := range schemes {
 			r := res[s.Name]
 			t.AddRow(fmt.Sprint(cores), s.Name, f2(r.MaxSlowdown), f2(r.MaxSlowdownStd), f3(r.HarmonicSpeedup))
 		}
 	}
 	t.AddNote("paper: ASM-Mem is fairer than all three (5.5%%/12%% over PARBS at 8/16 cores) at comparable/better performance")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runCacheMem reproduces the Section 7.2.2 text result: the coordinated
 // ASM-Cache-Mem scheme vs the best prior combination, PARBS+UCP, on a
 // 16-core system.
-func runCacheMem(sc Scale) (*Table, error) {
+func runCacheMem(ctx context.Context, sc Scale) (*Table, error) {
 	cores := 16
 	n := scaledWorkloads(sc, cores)
 	mixes := workload.RandomMixes(suitePool(), cores, n, sc.Seed+uint64(cores))
@@ -227,27 +258,30 @@ func runCacheMem(sc Scale) (*Table, error) {
 		Title:  "Coordinated cache + bandwidth partitioning (Section 7.2.2)",
 		Header: []string{"channels", "scheme", "max slowdown", "harmonic speedup"},
 	}
+	manifest := &Manifest{}
 	// The paper reports both the 1-channel and 2-channel 16-core systems.
 	for _, channels := range []int{1, 2} {
 		cfg := sc.BaseConfig()
 		cfg.Channels = channels
-		res, err := policySweep(cfg, mixes, schemes, sc)
+		res, m, err := policySweep(ctx, cfg, mixes, schemes, sc)
 		if err != nil {
 			return nil, err
 		}
+		manifest.Merge(m)
 		for _, s := range schemes {
 			r := res[s.Name]
 			t.AddRow(fmt.Sprint(channels), s.Name, f2(r.MaxSlowdown), f3(r.HarmonicSpeedup))
 		}
 	}
 	t.AddNote("paper: ASM-Cache-Mem improves fairness by 14.6%%/8.9%% over PARBS+UCP on 16-core 1/2-channel systems, within 1%% performance")
+	attach(t, manifest)
 	return t, nil
 }
 
 // runFig11 reproduces Figure 11: soft slowdown guarantees for h264ref.
 // Naive-QoS gives the target the whole cache; ASM-QoS-X gives it just
 // enough ways to meet bound X, freeing capacity for the co-runners.
-func runFig11(sc Scale) (*Table, error) {
+func runFig11(ctx context.Context, sc Scale) (*Table, error) {
 	// Co-runners are cache-hungry but not extreme bandwidth hogs, so the
 	// cache allocation is the lever that controls h264ref's slowdown —
 	// the Figure 11 setting (the paper's bound examples sit just above
@@ -288,7 +322,7 @@ func runFig11(sc Scale) (*Table, error) {
 		Header: append(append([]string{"scheme"}, mix.Names...), "harmonic speedup"),
 	}
 	for _, scheme := range schemes {
-		out, err := RunPolicy(sc.BaseConfig(), mix, scheme, sc)
+		out, err := RunPolicy(ctx, sc.BaseConfig(), mix, scheme, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,9 @@
 package exp
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Experiment is one regenerable paper artifact (table/figure) or ablation.
 type Experiment struct {
@@ -10,8 +13,11 @@ type Experiment struct {
 	Title string
 	// Paper names the paper artifact, empty for ablations.
 	Paper string
-	// Run executes the experiment at the given scale.
-	Run func(sc Scale) (*Table, error)
+	// Run executes the experiment at the given scale. Cancelling ctx
+	// stops the sweep between quanta; the experiment returns whatever
+	// partial table it can (with its Failures recording the loss) or the
+	// context error when nothing completed.
+	Run func(ctx context.Context, sc Scale) (*Table, error)
 }
 
 // All returns every registered experiment in presentation order.

@@ -1,11 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"asmsim/internal/core"
+	"asmsim/internal/faults"
 	"asmsim/internal/sim"
 	"asmsim/internal/workload"
 )
@@ -21,27 +24,69 @@ type Sample struct {
 }
 
 // Error returns the paper's error metric for the named estimator on this
-// sample: |estimated - actual| / actual * 100.
-func (s Sample) Error(estimator string) float64 {
+// sample, |estimated - actual| / actual * 100, and whether the sample is
+// valid for that estimator. A sample with no such estimate or a
+// non-positive actual slowdown cannot be scored — callers must skip it,
+// not average in a zero (which would silently deflate reported error).
+func (s Sample) Error(estimator string) (float64, bool) {
 	e, ok := s.Est[estimator]
 	if !ok || s.Actual <= 0 {
-		return 0
+		return 0, false
 	}
 	d := (e - s.Actual) / s.Actual * 100
 	if d < 0 {
 		d = -d
 	}
-	return d
+	return d, true
 }
 
 // EstimatorSet builds fresh estimator instances for one workload run
 // (estimators carry per-run state such as previous-quantum fallbacks).
 type EstimatorSet func() []core.Estimator
 
+// runQuanta advances sys one quantum at a time, honoring cancellation
+// between quanta so a stuck or abandoned sweep returns promptly.
+func runQuanta(ctx context.Context, sys *sim.System, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sys.RunQuanta(1)
+	}
+	return nil
+}
+
+// withRunTimeout applies the scale's per-run timeout, when set.
+func withRunTimeout(ctx context.Context, sc Scale) (context.Context, context.CancelFunc) {
+	if sc.RunTimeout > 0 {
+		return context.WithTimeout(ctx, sc.RunTimeout)
+	}
+	return ctx, func() {}
+}
+
 // RunAccuracy runs one workload mix under cfg, evaluating the estimators
 // against alone-run ground truth, and returns one sample per app per
-// measured quantum.
-func RunAccuracy(cfg sim.Config, mix workload.Mix, newEst EstimatorSet, sc Scale) ([]Sample, error) {
+// measured quantum. It honors ctx cancellation and the scale's per-run
+// timeout (returning the samples gathered so far alongside the context
+// error), recovers panics into errors naming the mix, and routes
+// estimator input through the scale's fault injector when one is
+// configured.
+func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst EstimatorSet, sc Scale) (samples []Sample, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := withRunTimeout(ctx, sc)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			samples = nil
+			err = fmt.Errorf("exp: run %s panicked: %v", mix, r)
+		}
+	}()
+	inj := faults.New(sc.Faults)
+	if ferr := inj.FailRun(mix.String()); ferr != nil {
+		return nil, fmt.Errorf("exp: run %s: %w", mix, ferr)
+	}
 	specs := mix.Specs()
 	cfg.Cores = len(specs)
 	sys, err := sim.New(cfg, specs)
@@ -53,12 +98,15 @@ func RunAccuracy(cfg sim.Config, mix workload.Mix, newEst EstimatorSet, sc Scale
 		return nil, err
 	}
 	ests := newEst()
-	var samples []Sample
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
+		// Ground truth reads the pristine counters; the estimators see the
+		// possibly-corrupted snapshot, as real models would on a machine
+		// with a flaky counter readout.
 		actual := tracker.ActualSlowdowns(st)
+		stEst, _ := inj.CorruptStats(mix.String(), st)
 		estimates := make(map[string][]float64, len(ests))
 		for _, e := range ests {
-			estimates[e.Name()] = e.Estimate(st)
+			estimates[e.Name()] = e.Estimate(stEst)
 		}
 		if st.Quantum < sc.WarmupQuanta {
 			return
@@ -77,27 +125,40 @@ func RunAccuracy(cfg sim.Config, mix workload.Mix, newEst EstimatorSet, sc Scale
 			samples = append(samples, s)
 		}
 	})
-	sys.RunQuanta(sc.TotalQuanta())
+	if err := runQuanta(ctx, sys, sc.TotalQuanta()); err != nil {
+		return samples, fmt.Errorf("exp: run %s: %w", mix, err)
+	}
 	return samples, nil
 }
 
-// MeanError averages the error of one estimator over samples.
+// MeanError averages the error of one estimator over the valid samples;
+// samples that cannot be scored are excluded rather than counted as zero.
 func MeanError(samples []Sample, estimator string) float64 {
-	if len(samples) == 0 {
+	sum, n := 0.0, 0
+	for _, s := range samples {
+		e, ok := s.Error(estimator)
+		if !ok {
+			continue
+		}
+		sum += e
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, s := range samples {
-		sum += s.Error(estimator)
-	}
-	return sum / float64(len(samples))
+	return sum / float64(n)
 }
 
-// ErrorsByBench groups per-sample errors by benchmark name.
+// ErrorsByBench groups per-sample errors by benchmark name, excluding
+// samples that cannot be scored.
 func ErrorsByBench(samples []Sample, estimator string) map[string][]float64 {
 	out := map[string][]float64{}
 	for _, s := range samples {
-		out[s.Bench] = append(out[s.Bench], s.Error(estimator))
+		e, ok := s.Error(estimator)
+		if !ok {
+			continue
+		}
+		out[s.Bench] = append(out[s.Bench], e)
 	}
 	return out
 }
@@ -124,8 +185,25 @@ type PolicyOutcome struct {
 }
 
 // RunPolicy runs one workload mix under a scheme and measures actual
-// slowdowns against the alone-run ground truth.
-func RunPolicy(cfg sim.Config, mix workload.Mix, scheme Scheme, sc Scale) (PolicyOutcome, error) {
+// slowdowns against the alone-run ground truth. Like RunAccuracy it
+// honors ctx cancellation and the per-run timeout and recovers panics
+// into errors naming the mix.
+func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Scheme, sc Scale) (out PolicyOutcome, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := withRunTimeout(ctx, sc)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			out = PolicyOutcome{}
+			err = fmt.Errorf("exp: run %s (%s) panicked: %v", mix, scheme.Name, r)
+		}
+	}()
+	inj := faults.New(sc.Faults)
+	if ferr := inj.FailRun(mix.String() + "/" + scheme.Name); ferr != nil {
+		return PolicyOutcome{}, fmt.Errorf("exp: run %s (%s): %w", mix, scheme.Name, ferr)
+	}
 	specs := mix.Specs()
 	cfg.Cores = len(specs)
 	if scheme.Configure != nil {
@@ -161,11 +239,13 @@ func RunPolicy(cfg sim.Config, mix workload.Mix, scheme Scheme, sc Scale) (Polic
 			invSum[a] += 1 / sd
 		}
 	})
-	sys.RunQuanta(sc.TotalQuanta())
+	if err := runQuanta(ctx, sys, sc.TotalQuanta()); err != nil {
+		return PolicyOutcome{}, fmt.Errorf("exp: run %s (%s): %w", mix, scheme.Name, err)
+	}
 	if count == 0 {
 		return PolicyOutcome{}, fmt.Errorf("exp: no measured quanta")
 	}
-	out := PolicyOutcome{AppSlowdowns: make([]float64, n)}
+	out = PolicyOutcome{AppSlowdowns: make([]float64, n)}
 	for a := range out.AppSlowdowns {
 		out.AppSlowdowns[a] = float64(count) / invSum[a]
 	}
@@ -195,52 +275,79 @@ func harmonicSpeedup(slowdowns []float64) float64 {
 	return float64(len(slowdowns)) / sum
 }
 
-// forEach runs fn for every index in [0, n) on up to GOMAXPROCS workers
-// and returns the first error. Experiments use it to fan independent
-// workload simulations across cores.
-func forEach(n int, fn func(i int) error) error {
+// forEach runs fn for every index in [0, n) on up to GOMAXPROCS workers.
+// Unlike a fail-fast pool it keeps going past individual failures: every
+// failure is recorded with its index and the label's workload name,
+// worker panics are recovered into errors instead of crashing the
+// process, and new items stop being scheduled once ctx is cancelled
+// (in-flight items finish). Failures come back sorted by index; cancelled
+// reports whether the sweep stopped early.
+func forEach(ctx context.Context, n int, label func(int) string, fn func(int) error) (failures []ItemError, cancelled bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return fn(i)
+	}
+	record := func(i int, err error) ItemError {
+		name := ""
+		if label != nil {
+			name = label(i)
+		}
+		return ItemError{Index: i, Name: name, Err: err}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if ctx.Err() != nil {
+				return failures, true
+			}
+			if err := call(i); err != nil {
+				failures = append(failures, record(i, err))
 			}
 		}
-		return nil
+		return failures, false
 	}
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		next int
-		err  error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					mu.Lock()
+					cancelled = true
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
-				failed := err != nil
 				mu.Unlock()
-				if failed || i >= n {
+				if i >= n {
 					return
 				}
-				if e := fn(i); e != nil {
+				if err := call(i); err != nil {
 					mu.Lock()
-					if err == nil {
-						err = e
-					}
+					failures = append(failures, record(i, err))
 					mu.Unlock()
-					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return err
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	return failures, cancelled
 }

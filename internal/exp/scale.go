@@ -1,6 +1,11 @@
 package exp
 
-import "asmsim/internal/sim"
+import (
+	"time"
+
+	"asmsim/internal/faults"
+	"asmsim/internal/sim"
+)
 
 // Scale sets the size of every experiment: how many random workloads per
 // data point, how many quanta are simulated and measured, and the
@@ -19,6 +24,13 @@ type Scale struct {
 	Epoch   uint64
 	// Seed drives workload-mix construction and all simulations.
 	Seed uint64
+	// RunTimeout bounds each individual workload run; 0 means no bound.
+	// A run that exceeds it fails like any other item — the sweep keeps
+	// its remaining mixes and reports the loss in the failure manifest.
+	RunTimeout time.Duration
+	// Faults configures deterministic fault injection into runs (see
+	// internal/faults). The zero value injects nothing.
+	Faults faults.Config
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`

@@ -1,0 +1,258 @@
+// Package faults is a deterministic, seeded fault injector for the
+// cluster balancer and the experiment runner.
+//
+// The ROADMAP's production framing (always-on slowdown-aware migration
+// and admission control, Section 7.5 of the paper) only matters on a
+// system where machines fail, evaluations time out and counters go bad.
+// This package is the test substrate for those paths: every injection
+// decision is a pure function of (seed, site), so a faulty run is exactly
+// as reproducible as a clean one — same seed, same outages, same
+// corrupted quanta, regardless of goroutine scheduling or call order.
+//
+// Two styles of injection compose freely:
+//
+//   - probabilistic chaos (EvalFailProb, TimeoutProb, CorruptProb,
+//     OutageProb) for soak-style robustness sweeps;
+//   - deterministic scripting (FailAttempts, Machines, Rounds) for tests
+//     and drills that need one specific machine to fail in one specific
+//     round.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"asmsim/internal/rng"
+	"asmsim/internal/sim"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// EvalFailure is an evaluation or workload run returning an error.
+	EvalFailure Kind = iota
+	// Timeout is an evaluation exceeding its deadline.
+	Timeout
+	// Corruption is a NaN/Inf-corrupted counter snapshot.
+	Corruption
+	// Outage is a transient whole-machine outage.
+	Outage
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case EvalFailure:
+		return "evaluation failure"
+	case Timeout:
+		return "timeout"
+	case Corruption:
+		return "counter corruption"
+	case Outage:
+		return "machine outage"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel every injected fault wraps, so callers can
+// tell chaos from genuine failures with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind Kind
+	// Site identifies where the fault was injected (machine/round/attempt
+	// for cluster evaluations, the workload name for experiment runs).
+	Site string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return fmt.Sprintf("faults: injected %s at %s", f.Kind, f.Site) }
+
+// Unwrap makes errors.Is(f, ErrInjected) true.
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every injection decision. Decisions are pure functions
+	// of (Seed, site): two injectors with equal configs agree everywhere.
+	Seed uint64
+
+	// Probabilistic chaos knobs, each a per-site probability in [0, 1].
+	EvalFailProb float64 // an evaluation/run fails outright
+	TimeoutProb  float64 // an evaluation/run exceeds its deadline
+	CorruptProb  float64 // a quantum's counter snapshot gains NaN/Inf
+	OutageProb   float64 // a machine starts a transient outage this round
+
+	// OutageRounds is how many rounds an outage lasts (0 selects 1).
+	OutageRounds int
+
+	// FailAttempts scripts deterministic failures: the first FailAttempts
+	// attempts of every matching evaluation fail regardless of
+	// EvalFailProb. Combined with Machines and Rounds it pins a failure
+	// to one machine in one round, with or without surviving the retry.
+	FailAttempts int
+	// Machines restricts machine-keyed faults (evaluation failures,
+	// outages) to the listed machines; nil means every machine.
+	Machines []int
+	// Rounds restricts machine-keyed faults to the listed rounds; nil
+	// means every round.
+	Rounds []int
+}
+
+// Enabled reports whether the configuration can inject anything.
+func (c Config) Enabled() bool {
+	return c.EvalFailProb > 0 || c.TimeoutProb > 0 || c.CorruptProb > 0 ||
+		c.OutageProb > 0 || c.FailAttempts > 0
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"EvalFailProb", c.EvalFailProb},
+		{"TimeoutProb", c.TimeoutProb},
+		{"CorruptProb", c.CorruptProb},
+		{"OutageProb", c.OutageProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.OutageRounds < 0 {
+		return fmt.Errorf("faults: negative OutageRounds %d", c.OutageRounds)
+	}
+	if c.FailAttempts < 0 {
+		return fmt.Errorf("faults: negative FailAttempts %d", c.FailAttempts)
+	}
+	return nil
+}
+
+// Injector makes deterministic fault decisions. A nil *Injector is valid
+// and injects nothing, so callers need no enabled-checks at use sites.
+type Injector struct {
+	cfg Config
+}
+
+// New returns an injector for the config, or nil when the config cannot
+// inject anything (the nil injector is safe to use).
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg}
+}
+
+// roll is a deterministic Bernoulli draw for one site.
+func (in *Injector) roll(site string, p float64) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.NewNamed(in.cfg.Seed, "faults/"+site).Float64() < p
+}
+
+// matches applies the Machines/Rounds scripting restrictions.
+func (in *Injector) matches(machine, round int) bool {
+	inList := func(list []int, v int) bool {
+		if list == nil {
+			return true
+		}
+		for _, x := range list {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	return inList(in.cfg.Machines, machine) && inList(in.cfg.Rounds, round)
+}
+
+// FailEval decides whether the given attempt (0-based) of a machine's
+// evaluation in a round fails, returning the injected fault or nil.
+func (in *Injector) FailEval(machine, round, attempt int) error {
+	if in == nil || !in.matches(machine, round) {
+		return nil
+	}
+	site := fmt.Sprintf("machine %d round %d attempt %d", machine, round, attempt)
+	if attempt < in.cfg.FailAttempts {
+		return &Fault{Kind: EvalFailure, Site: site}
+	}
+	if in.roll("evalfail/"+site, in.cfg.EvalFailProb) {
+		return &Fault{Kind: EvalFailure, Site: site}
+	}
+	if in.roll("timeout/"+site, in.cfg.TimeoutProb) {
+		return &Fault{Kind: Timeout, Site: site}
+	}
+	return nil
+}
+
+// FailRun decides whether a whole experiment run (keyed by workload name)
+// fails, returning the injected fault or nil. The Machines/Rounds
+// restrictions do not apply to name-keyed runs.
+func (in *Injector) FailRun(name string) error {
+	if in == nil {
+		return nil
+	}
+	if in.roll("runfail/"+name, in.cfg.EvalFailProb) {
+		return &Fault{Kind: EvalFailure, Site: name}
+	}
+	if in.roll("runtimeout/"+name, in.cfg.TimeoutProb) {
+		return &Fault{Kind: Timeout, Site: name}
+	}
+	return nil
+}
+
+// OutageStarts reports whether a transient outage begins on the machine at
+// the given round. The caller tracks the outage's remaining duration
+// (OutageLen rounds including this one).
+func (in *Injector) OutageStarts(machine, round int) bool {
+	if in == nil || !in.matches(machine, round) {
+		return false
+	}
+	site := fmt.Sprintf("outage/machine %d round %d", machine, round)
+	return in.roll(site, in.cfg.OutageProb)
+}
+
+// OutageLen returns how many rounds an injected outage lasts.
+func (in *Injector) OutageLen() int {
+	if in == nil || in.cfg.OutageRounds <= 0 {
+		return 1
+	}
+	return in.cfg.OutageRounds
+}
+
+// CorruptStats decides whether the counter snapshot for the given site and
+// quantum is corrupted. When it is, it returns a deep copy with NaN/Inf
+// planted in the per-app float counters (the model-facing fields a flaky
+// performance-monitoring readout would garble) and true; the original
+// snapshot is never modified, so ground-truth consumers stay clean.
+func (in *Injector) CorruptStats(site string, st *sim.QuantumStats) (*sim.QuantumStats, bool) {
+	if in == nil {
+		return st, false
+	}
+	key := fmt.Sprintf("corrupt/%s quantum %d", site, st.Quantum)
+	if !in.roll(key, in.cfg.CorruptProb) {
+		return st, false
+	}
+	cp := st.Clone()
+	vals := rng.NewNamed(in.cfg.Seed, "faults/val/"+key)
+	for a := range cp.Apps {
+		aq := &cp.Apps[a]
+		switch vals.Intn(3) {
+		case 0:
+			aq.MemInterfCycles = math.NaN()
+		case 1:
+			aq.PFContentionExtra = math.Inf(1)
+		default:
+			aq.ATSContentionExtra = math.NaN()
+		}
+	}
+	return cp, true
+}
