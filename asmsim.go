@@ -31,6 +31,7 @@ package asmsim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"asmsim/internal/cluster"
 	"asmsim/internal/core"
@@ -40,6 +41,7 @@ import (
 	"asmsim/internal/model"
 	"asmsim/internal/partition"
 	"asmsim/internal/sim"
+	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
 )
 
@@ -78,6 +80,21 @@ type (
 	ClusterEvent = cluster.Event
 	// ClusterDrain records one job moved (or parked) off a failed machine.
 	ClusterDrain = cluster.Drain
+	// TelemetryOptions bundles the observability hooks (metrics registry,
+	// quantum recorder, progress reporter). The zero value disables all
+	// telemetry at zero cost.
+	TelemetryOptions = telemetry.Options
+	// TelemetryRegistry is an allocation-free atomic counter/gauge/timer
+	// registry with named scopes; nil is a valid no-op registry.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryMetric is one snapshotted registry entry.
+	TelemetryMetric = telemetry.Metric
+	// QuantumRecord is one (app, quantum) time-series sample: raw counters
+	// plus every estimator's slowdown estimate and, when available, the
+	// actual slowdown.
+	QuantumRecord = telemetry.QuantumRecord
+	// QuantumRecorder streams QuantumRecords to a sink (JSONL or CSV).
+	QuantumRecorder = telemetry.Recorder
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -158,6 +175,18 @@ func Experiments() []Experiment { return exp.All() }
 // ExperimentByID looks up one experiment (fig2, tab3, ...).
 func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
 
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewJSONLRecorder streams quantum records to w as JSON lines.
+func NewJSONLRecorder(w io.Writer) QuantumRecorder { return telemetry.NewJSONLRecorder(w) }
+
+// OpenJSONLRecorder creates path and streams quantum records to it as
+// JSON lines; Close flushes and reports the first write error.
+func OpenJSONLRecorder(path string) (QuantumRecorder, error) {
+	return telemetry.OpenJSONLRecorder(path)
+}
+
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
 
@@ -178,6 +207,11 @@ type RunOptions struct {
 	// Attach, when non-nil, is called with the system before the run
 	// starts — use it to install partitioning or bandwidth policies.
 	Attach func(*System)
+	// Telemetry optionally observes the run: Metrics receives the
+	// simulator's counters/gauges/timers and Recorder receives one
+	// QuantumRecord per (app, quantum), warmup included. The zero value
+	// disables both.
+	Telemetry TelemetryOptions
 }
 
 // RunResult reports per-app outcomes of a Run.
@@ -235,6 +269,7 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	if opt.Attach != nil {
 		opt.Attach(sys)
 	}
+	sys.SetTelemetry(opt.Telemetry.Metrics)
 	var tracker *sim.SlowdownTracker
 	if opt.GroundTruth {
 		tracker, err = sim.NewSlowdownTracker(cfg, specs)
@@ -254,6 +289,7 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	}
 	actualSum := make([]float64, n)
 	measured := 0
+	rec := opt.Telemetry.Recorder
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		var actual []float64
 		if tracker != nil {
@@ -262,6 +298,26 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 		perEst := make(map[string][]float64, len(ests))
 		for _, e := range ests {
 			perEst[e.Name()] = e.Estimate(st)
+		}
+		if rec != nil {
+			for a := 0; a < n; a++ {
+				est := make(map[string]float64, len(perEst))
+				for name, v := range perEst {
+					est[name] = v[a]
+				}
+				qr := &QuantumRecord{
+					Mix:       mix.String(),
+					App:       a,
+					Bench:     specs[a].Name,
+					Quantum:   st.Quantum,
+					Estimates: est,
+					Counters:  st.Apps[a].TelemetryCounters(),
+				}
+				if actual != nil {
+					qr.Actual = actual[a]
+				}
+				rec.Record(qr)
+			}
 		}
 		if st.Quantum < opt.WarmupQuanta {
 			return
@@ -366,6 +422,19 @@ func (c *Cluster) Drains() []ClusterDrain { return c.inner.Drains }
 // Unplaced returns jobs parked because no surviving machine could admit
 // them; they are retried every round.
 func (c *Cluster) Unplaced() []string { return c.inner.Unplaced }
+
+// SetTelemetry attaches a metrics registry: audit-log event counters,
+// round counts, and serving/unplaced gauges under the "cluster" scope.
+func (c *Cluster) SetTelemetry(r *TelemetryRegistry) { c.inner.SetTelemetry(r) }
+
+// WriteEventsJSONL streams the degradation log as one JSON object per line.
+func (c *Cluster) WriteEventsJSONL(w io.Writer) error { return c.inner.WriteEventsJSONL(w) }
+
+// WriteDrainsJSONL streams the drain log as one JSON object per line.
+func (c *Cluster) WriteDrainsJSONL(w io.Writer) error { return c.inner.WriteDrainsJSONL(w) }
+
+// WriteMigrationsJSONL streams the migration log as one JSON object per line.
+func (c *Cluster) WriteMigrationsJSONL(w io.Writer) error { return c.inner.WriteMigrationsJSONL(w) }
 
 // FairBill implements the Section 7.4 cloud-billing use case: given a
 // job's wall-clock time on a shared machine and its estimated slowdown,

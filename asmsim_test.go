@@ -1,6 +1,9 @@
 package asmsim
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -150,5 +153,70 @@ func TestPolicyConstructors(t *testing.T) {
 	if NewFST().Name() != "FST" || NewPTCA().Name() != "PTCA" ||
 		NewMISE().Name() != "MISE" || NewASM().Name() != "ASM" {
 		t.Fatal("estimator constructor names")
+	}
+}
+
+// TestRunWithTelemetry: a ground-truth run with a recorder attached must
+// emit exactly one record per (app, quantum) — warmup included — whose
+// estimates and actuals round-trip through encoding/json, and must
+// populate the sim scope of the metrics registry.
+func TestRunWithTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewTelemetryRegistry()
+	rec := NewJSONLRecorder(&buf)
+	names := []string{"mcf", "libquantum"}
+	res, err := Run(fastConfig(), names, RunOptions{
+		WarmupQuanta: 1, Quanta: 2, GroundTruth: true,
+		Estimators: []Estimator{NewASM(), NewMISE()},
+		Telemetry:  TelemetryOptions{Metrics: reg, Recorder: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	quanta := 3 // warmup + measured
+	seen := map[[2]int]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var qr QuantumRecord
+		if err := json.Unmarshal(sc.Bytes(), &qr); err != nil {
+			t.Fatal(err)
+		}
+		key := [2]int{qr.App, qr.Quantum}
+		if seen[key] {
+			t.Fatalf("duplicate record for app %d quantum %d", qr.App, qr.Quantum)
+		}
+		seen[key] = true
+		if qr.Bench != names[qr.App] {
+			t.Fatalf("record bench %q for app %d", qr.Bench, qr.App)
+		}
+		if qr.Actual < 1 {
+			t.Fatalf("record actual %v", qr.Actual)
+		}
+		for _, est := range []string{"ASM", "MISE"} {
+			if _, ok := qr.Estimates[est]; !ok {
+				t.Fatalf("record missing %s estimate: %v", est, qr.Estimates)
+			}
+		}
+		if qr.Counters.Retired == 0 || qr.Counters.L2Accesses == 0 {
+			t.Fatalf("record counters empty: %+v", qr.Counters)
+		}
+	}
+	if len(seen) != len(names)*quanta {
+		t.Fatalf("%d records, want %d", len(seen), len(names)*quanta)
+	}
+	if res == nil || len(res.ActualSlowdown) != 2 {
+		t.Fatal("result shape wrong")
+	}
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == "sim.quanta" && m.Value == int64(quanta) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sim.quanta counter missing or wrong: %+v", reg.Snapshot())
 	}
 }

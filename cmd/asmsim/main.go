@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
 	"asmsim"
+	"asmsim/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +40,23 @@ func main() {
 		list        = flag.Bool("list", false, "list available benchmarks")
 		charact     = flag.Bool("characterize", false, "run every benchmark alone and print its memory characterization")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		telDir      = flag.String("telemetry", "", "write quantum-level telemetry (quanta.jsonl + metrics.jsonl) to this directory")
+		telFormat   = flag.String("telemetry-format", "jsonl", "quantum time-series format: jsonl or csv")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
+	if prof.PprofAddr() != "" {
+		fmt.Fprintf(os.Stderr, "pprof server listening on http://%s/debug/pprof/\n", prof.PprofAddr())
+	}
 
 	if *charact {
 		characterize(*quantum, *seed)
@@ -83,15 +100,52 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tel asmsim.TelemetryOptions
+	var telReg *asmsim.TelemetryRegistry
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var rec telemetry.Recorder
+		var err error
+		switch *telFormat {
+		case "jsonl":
+			rec, err = telemetry.OpenJSONLRecorder(filepath.Join(*telDir, "quanta.jsonl"))
+		case "csv":
+			rec, err = telemetry.OpenCSVRecorder(filepath.Join(*telDir, "quanta.csv"),
+				[]string{"ASM", "FST", "PTCA", "MISE"})
+		default:
+			err = fmt.Errorf("unknown telemetry format %q (want jsonl or csv)", *telFormat)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			}
+		}()
+		telReg = asmsim.NewTelemetryRegistry()
+		tel = asmsim.TelemetryOptions{Metrics: telReg, Recorder: rec}
+	}
+
 	res, err := asmsim.RunContext(ctx, cfg, names, asmsim.RunOptions{
 		WarmupQuanta: *warmup,
 		Quanta:       *quanta,
 		GroundTruth:  *groundTruth,
 		Estimators:   []asmsim.Estimator{asmsim.NewASM(), asmsim.NewFST(), asmsim.NewPTCA(), asmsim.NewMISE()},
+		Telemetry:    tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if telReg != nil {
+		if err := writeMetricsSnapshot(filepath.Join(*telDir, "metrics.jsonl"), telReg); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		}
 	}
 
 	fmt.Printf("%-12s %8s %8s %8s %8s %8s", "app", "IPC", "ASM", "FST", "PTCA", "MISE")
@@ -109,6 +163,19 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("\nmax slowdown %.2f, harmonic speedup %.3f\n", res.MaxSlowdown, res.HarmonicSpeedup)
+}
+
+// writeMetricsSnapshot dumps the registry's final state as JSONL.
+func writeMetricsSnapshot(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // characterize runs every named benchmark alone on the default system and

@@ -8,16 +8,25 @@
 //	experiments -run all -quick
 //	experiments -run tab3 -workloads 10 -quanta 5
 //	experiments -run all -timeout 30m -run-timeout 2m
+//	experiments -run fig2 -format json | jq .
+//	experiments -run fig2 -telemetry /tmp/tel -pprof localhost:6060
+//
+// Tables go to stdout; all progress and diagnostics go to stderr, so
+// `-format json` (or csv) output stays machine-parseable when piped.
+// With -run all and -format json, stdout is one JSON array of tables.
 //
 // Ctrl-C (SIGINT/SIGTERM) or the -timeout deadline stops the sweep
 // between quanta; tables built from partial results are still printed,
-// with their failed items listed, and the process exits non-zero.
+// with their failed items listed on stderr, and the process exits
+// non-zero.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"asmsim/internal/exp"
+	"asmsim/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +49,11 @@ func main() {
 		outDir     = flag.String("o", "", "also write each table to <dir>/<id>.<format>")
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the whole invocation (0 = none)")
 		runTimeout = flag.Duration("run-timeout", 0, "per-workload-run deadline; a run exceeding it fails like any other item (0 = none)")
+		progress   = flag.Bool("progress", true, "report live sweep progress (done/total, ETA, losses) on stderr")
+		telDir     = flag.String("telemetry", "", "write quantum telemetry (<id>.quanta.jsonl per experiment + metrics.jsonl) to this directory")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -52,6 +67,15 @@ func main() {
 			fmt.Printf("  %-12s %-12s %s\n", e.ID, ref, e.Title)
 		}
 		return
+	}
+
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
+	if prof.PprofAddr() != "" {
+		fmt.Fprintf(os.Stderr, "pprof server listening on http://%s/debug/pprof/\n", prof.PprofAddr())
 	}
 
 	sc := exp.Quick()
@@ -85,66 +109,162 @@ func main() {
 	} else {
 		e, err := exp.ByID(*run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		exps = []exp.Experiment{e}
 	}
 
+	var reg *telemetry.Registry
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fatal(err)
+		}
+		reg = telemetry.NewRegistry()
+	}
+
+	var tables []*exp.Table
 	partial := 0
 	for _, e := range exps {
-		start := time.Now()
-		table, err := e.Run(ctx, sc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+		scRun := sc
+		var rec telemetry.Recorder
+		if *telDir != "" {
+			rec, err = telemetry.OpenJSONLRecorder(filepath.Join(*telDir, e.ID+".quanta.jsonl"))
+			if err != nil {
+				fatal(err)
+			}
+			scRun.Telemetry.Recorder = rec
+			scRun.Telemetry.Metrics = reg
 		}
+		var prg *telemetry.Progress
+		if *progress {
+			prg = telemetry.NewProgress(os.Stderr, e.ID, 0)
+			scRun.Telemetry.Progress = prg
+		}
+		start := time.Now()
+		table, err := e.Run(ctx, scRun)
+		prg.Finish()
+		if rec != nil {
+			if cerr := rec.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %s: %v\n", e.ID, cerr)
+			}
+		}
+		if err != nil {
+			// Emit what completed before dying so a long sweep's output
+			// is not lost to one broken experiment.
+			emit(os.Stdout, tables, *format)
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if table.Partial() {
 			partial++
-		}
-		render := func(f string) (string, error) {
-			switch f {
-			case "csv":
-				return table.CSV(), nil
-			case "json":
-				return table.JSON()
-			default:
-				return table.String(), nil
-			}
-		}
-		out, err := render(*format)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
-		if *format == "text" {
-			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
-		if *outDir != "" {
-			ext := *format
-			if ext == "text" {
-				ext = "txt"
-			}
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*outDir, e.ID+"."+ext)
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		if table.Partial() {
 			fmt.Fprintf(os.Stderr, "%s: PARTIAL RESULTS — %d item(s) lost:\n", e.ID, len(table.Failures))
 			for _, f := range table.Failures {
 				fmt.Fprintf(os.Stderr, "  %s\n", f)
 			}
+		}
+		tables = append(tables, table)
+		if *outDir != "" {
+			if err := writeTable(*outDir, table, *format); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := emit(os.Stdout, tables, *format); err != nil {
+		fatal(err)
+	}
+	if reg != nil {
+		if err := writeMetricsSnapshot(filepath.Join(*telDir, "metrics.jsonl"), reg); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 		}
 	}
 	if partial > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d experiment(s) completed only partially\n", partial, len(exps))
 		os.Exit(1)
 	}
+}
+
+// renderTable renders one table in the given format.
+func renderTable(t *exp.Table, format string) (string, error) {
+	switch format {
+	case "csv":
+		return t.CSV(), nil
+	case "json":
+		return t.JSON()
+	case "text":
+		return t.String(), nil
+	}
+	return "", fmt.Errorf("unknown format %q (want text, csv or json)", format)
+}
+
+// renderAll renders a run's tables for stdout. Text and CSV concatenate
+// with blank-line separators; JSON emits a single object for one table
+// and an array for several, so piped output always parses as one JSON
+// value.
+func renderAll(tables []*exp.Table, format string) (string, error) {
+	if format == "json" && len(tables) != 1 {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(out), nil
+	}
+	s := ""
+	for i, t := range tables {
+		out, err := renderTable(t, format)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			s += "\n"
+		}
+		s += out + "\n"
+	}
+	return s, nil
+}
+
+// emit writes the rendered tables to w (no-op for an empty run).
+func emit(w io.Writer, tables []*exp.Table, format string) error {
+	if len(tables) == 0 {
+		return nil
+	}
+	out, err := renderAll(tables, format)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, out)
+	return err
+}
+
+// writeTable stores one table under dir as <id>.<ext>.
+func writeTable(dir string, t *exp.Table, format string) error {
+	out, err := renderTable(t, format)
+	if err != nil {
+		return err
+	}
+	ext := format
+	if ext == "text" {
+		ext = "txt"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, t.ID+"."+ext), []byte(out+"\n"), 0o644)
+}
+
+// writeMetricsSnapshot dumps the registry's final state as JSONL.
+func writeMetricsSnapshot(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -36,6 +36,7 @@ import (
 	"asmsim/internal/faults"
 	"asmsim/internal/metrics"
 	"asmsim/internal/sim"
+	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
 )
 
@@ -195,16 +196,18 @@ type Cluster struct {
 	// recoveries.
 	Events []Event
 	round  int
+	tel    *telemetry.Registry
 }
 
 // Migration is one balancer decision.
 type Migration struct {
-	Round    int
-	Job      string
-	From, To int
+	Round int    `json:"round"`
+	Job   string `json:"job"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
 	// Swapped is the job moved in the opposite direction (machines run
 	// full, so migrations are swaps).
-	Swapped string
+	Swapped string `json:"swapped"`
 }
 
 // Drain records one job rescheduled off a failed machine. To is -1 when
@@ -212,19 +215,20 @@ type Migration struct {
 // is parked in Unplaced), and From is -1 when a previously parked job is
 // re-placed.
 type Drain struct {
-	Round    int
-	Job      string
-	From, To int
+	Round int    `json:"round"`
+	Job   string `json:"job"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
 }
 
 // Event is one entry of the robustness audit log.
 type Event struct {
-	Round   int
-	Machine int
+	Round   int `json:"round"`
+	Machine int `json:"machine"`
 	// Kind is one of "retry", "degraded", "failed", "drain", "park",
 	// "replace", "recovered", "outage".
-	Kind   string
-	Detail string
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
 }
 
 // New returns a cluster with the given initial placement.
@@ -251,9 +255,11 @@ func (c *Cluster) Machines() []Machine { return c.machines }
 // Round returns the number of completed evaluation rounds.
 func (c *Cluster) Round() int { return c.round }
 
-// event appends one audit-log entry for the current round.
+// event appends one audit-log entry for the current round and bumps the
+// matching telemetry counter (events.retry, events.failed, ...).
 func (c *Cluster) event(machine int, kind, detail string) {
 	c.Events = append(c.Events, Event{Round: c.round, Machine: machine, Kind: kind, Detail: detail})
+	c.tel.Counter("events." + kind).Inc()
 }
 
 // EvaluateRound simulates every serving machine for RoundQuanta quanta
@@ -315,6 +321,9 @@ func (c *Cluster) EvaluateRound() error {
 			serving++
 		}
 	}
+	c.tel.Counter("rounds").Inc()
+	c.tel.Gauge("serving").Set(int64(serving))
+	c.tel.Gauge("unplaced").Set(int64(len(c.Unplaced)))
 	if serving == 0 {
 		return fmt.Errorf("cluster: all %d machines failed (round %d)", len(c.machines), c.round-1)
 	}

@@ -63,6 +63,7 @@ func runAblQueueing(ctx context.Context, sc Scale) (*Table, error) {
 		results := make([][]Sample, len(mixes))
 		fails, cancelled := forEach(ctx, len(mixes),
 			func(i int) string { return mixes[i].String() },
+			sc.Telemetry,
 			func(i int) error {
 				c := cfg
 				c.Seed = sc.Seed + uint64(i)*1000
@@ -224,6 +225,7 @@ func runAblSTFM(ctx context.Context, sc Scale) (*Table, error) {
 	results := make([][]Sample, len(mixes))
 	fails, cancelled := forEach(ctx, len(mixes),
 		func(i int) string { return mixes[i].String() },
+		sc.Telemetry,
 		func(i int) error {
 			c := cfg
 			c.Seed = sc.Seed + uint64(i)*1000

@@ -39,6 +39,7 @@ func accuracySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, sc
 	results := make([][]Sample, len(mixes))
 	fails, cancelled := forEach(ctx, len(mixes),
 		func(i int) string { return mixes[i].String() },
+		sc.Telemetry,
 		func(i int) error {
 			c := cfg
 			c.Seed = sc.Seed + uint64(i)*1000

@@ -30,6 +30,7 @@ func policySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, sche
 	cells := make([]map[string]cell, len(mixes))
 	fails, cancelled := forEach(ctx, len(mixes),
 		func(i int) string { return mixes[i].String() },
+		sc.Telemetry,
 		func(i int) error {
 			got := map[string]cell{}
 			for _, scheme := range schemes {

@@ -6,10 +6,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"asmsim/internal/core"
 	"asmsim/internal/faults"
+	"asmsim/internal/metrics"
 	"asmsim/internal/sim"
+	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
 )
 
@@ -28,16 +32,14 @@ type Sample struct {
 // valid for that estimator. A sample with no such estimate or a
 // non-positive actual slowdown cannot be scored — callers must skip it,
 // not average in a zero (which would silently deflate reported error).
+// The arithmetic delegates to metrics.Error so the two error metrics in
+// the codebase cannot drift apart.
 func (s Sample) Error(estimator string) (float64, bool) {
 	e, ok := s.Est[estimator]
-	if !ok || s.Actual <= 0 {
+	if !ok {
 		return 0, false
 	}
-	d := (e - s.Actual) / s.Actual * 100
-	if d < 0 {
-		d = -d
-	}
-	return d, true
+	return metrics.Error(e, s.Actual)
 }
 
 // EstimatorSet builds fresh estimator instances for one workload run
@@ -93,11 +95,13 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 	if err != nil {
 		return nil, err
 	}
+	sys.SetTelemetry(sc.Telemetry.Metrics)
 	tracker, err := sim.NewSlowdownTracker(cfg, specs)
 	if err != nil {
 		return nil, err
 	}
 	ests := newEst()
+	rec := sc.Telemetry.Recorder
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		// Ground truth reads the pristine counters; the estimators see the
 		// possibly-corrupted snapshot, as real models would on a machine
@@ -107,6 +111,25 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		estimates := make(map[string][]float64, len(ests))
 		for _, e := range ests {
 			estimates[e.Name()] = e.Estimate(stEst)
+		}
+		if rec != nil {
+			// The recorder sees every quantum, warmup included: the
+			// per-quantum trajectory is exactly what it exists to expose.
+			for a := range specs {
+				est := make(map[string]float64, len(ests))
+				for name, v := range estimates {
+					est[name] = v[a]
+				}
+				rec.Record(&telemetry.QuantumRecord{
+					Mix:       mix.String(),
+					App:       a,
+					Bench:     specs[a].Name,
+					Quantum:   st.Quantum,
+					Actual:    actual[a],
+					Estimates: est,
+					Counters:  st.Apps[a].TelemetryCounters(),
+				})
+			}
 		}
 		if st.Quantum < sc.WarmupQuanta {
 			return
@@ -213,9 +236,11 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 	if err != nil {
 		return PolicyOutcome{}, err
 	}
+	sys.SetTelemetry(sc.Telemetry.Metrics)
 	if scheme.Attach != nil {
 		scheme.Attach(sys)
 	}
+	defer sc.Telemetry.Metrics.Scope("exp").Scope("scheme").Timer(scheme.Name).Start()()
 	// Ground truth always uses the unmanaged baseline system: the alone
 	// run has the full cache and all bandwidth regardless of policy.
 	base := cfg
@@ -229,8 +254,22 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 	n := len(specs)
 	invSum := make([]float64, n) // sum of 1/slowdown per quantum
 	count := 0
+	rec := sc.Telemetry.Recorder
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		actual := tracker.ActualSlowdowns(st)
+		if rec != nil {
+			for a := range specs {
+				rec.Record(&telemetry.QuantumRecord{
+					Mix:      mix.String(),
+					Scheme:   scheme.Name,
+					App:      a,
+					Bench:    specs[a].Name,
+					Quantum:  st.Quantum,
+					Actual:   actual[a],
+					Counters: st.Apps[a].TelemetryCounters(),
+				})
+			}
+		}
 		if st.Quantum < sc.WarmupQuanta {
 			return
 		}
@@ -282,29 +321,72 @@ func harmonicSpeedup(slowdowns []float64) float64 {
 // process, and new items stop being scheduled once ctx is cancelled
 // (in-flight items finish). Failures come back sorted by index; cancelled
 // reports whether the sweep stopped early.
-func forEach(ctx context.Context, n int, label func(int) string, fn func(int) error) (failures []ItemError, cancelled bool) {
+//
+// obs optionally observes the sweep: Progress receives item start/finish
+// updates, Metrics receives per-item wall-time timers (aggregate
+// "exp.item" plus one per item label) and worker-utilization gauges.
+// The zero Options observes nothing.
+func forEach(ctx context.Context, n int, label func(int) string, obs telemetry.Options, fn func(int) error) (failures []ItemError, cancelled bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	name := func(i int) string {
+		if label == nil {
+			return ""
+		}
+		return label(i)
+	}
+	var busyNs atomic.Int64
 	call := func(i int) (err error) {
+		item := name(i)
+		obs.Progress.StartItem(item)
+		begin := time.Now()
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("panic: %v", r)
 			}
+			d := time.Since(begin)
+			busyNs.Add(int64(d))
+			if m := obs.Metrics.Scope("exp"); m != nil {
+				m.Timer("item").Observe(d)
+				if item != "" {
+					m.Scope("item").Timer(item).Observe(d)
+				}
+				if err != nil {
+					m.Counter("items_failed").Inc()
+				} else {
+					m.Counter("items_done").Inc()
+				}
+			}
+			obs.Progress.DoneItem(item, err)
 		}()
 		return fn(i)
 	}
 	record := func(i int, err error) ItemError {
-		name := ""
-		if label != nil {
-			name = label(i)
-		}
-		return ItemError{Index: i, Name: name, Err: err}
+		return ItemError{Index: i, Name: name(i), Err: err}
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	obs.Progress.Add(n)
+	start := time.Now()
+	defer func() {
+		// Worker utilization: busy time over the sweep's worker capacity.
+		// Counters accumulate across sweeps so the cumulative utilization
+		// of a whole invocation can be derived from one snapshot.
+		m := obs.Metrics.Scope("exp")
+		if m == nil || workers == 0 {
+			return
+		}
+		capacity := int64(time.Since(start)) * int64(workers)
+		m.Counter("busy_ns").Add(uint64(busyNs.Load()))
+		m.Counter("capacity_ns").Add(uint64(capacity))
+		m.Gauge("workers").Set(int64(workers))
+		if capacity > 0 {
+			m.Gauge("worker_utilization_pct").Set(100 * busyNs.Load() / capacity)
+		}
+	}()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {

@@ -5,6 +5,7 @@ import (
 
 	"asmsim/internal/faults"
 	"asmsim/internal/sim"
+	"asmsim/internal/telemetry"
 )
 
 // Scale sets the size of every experiment: how many random workloads per
@@ -31,6 +32,13 @@ type Scale struct {
 	// Faults configures deterministic fault injection into runs (see
 	// internal/faults). The zero value injects nothing.
 	Faults faults.Config
+	// Telemetry optionally observes the sweep: a Recorder receives one
+	// record per (app, quantum) with counters, actual and estimated
+	// slowdowns; Metrics receives per-mix/per-scheme wall-time timers,
+	// worker-utilization gauges and simulator counters; Progress
+	// receives live item start/finish updates. The zero value disables
+	// all observation.
+	Telemetry telemetry.Options
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`

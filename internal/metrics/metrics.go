@@ -16,17 +16,21 @@ func Slowdown(ipcAlone, ipcShared float64) float64 {
 	return ipcAlone / ipcShared
 }
 
-// Error returns the paper's slowdown-estimation error in percent:
-// |estimated - actual| / actual * 100 (Section 5, "Metrics").
-func Error(estimated, actual float64) float64 {
+// Error returns the paper's slowdown-estimation error in percent,
+// |estimated - actual| / actual * 100 (Section 5, "Metrics"), and
+// whether the pair can be scored at all. A non-positive actual slowdown
+// (an app that retired no instructions) has no defined error; callers
+// must skip such samples rather than average in zeros, which would
+// silently deflate the reported error.
+func Error(estimated, actual float64) (float64, bool) {
 	if actual <= 0 {
-		return 0
+		return 0, false
 	}
 	e := (estimated - actual) / actual * 100
 	if e < 0 {
 		e = -e
 	}
-	return e
+	return e, true
 }
 
 // Speedup returns IPC_shared / IPC_alone for one app (the reciprocal of

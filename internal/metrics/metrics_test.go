@@ -20,14 +20,19 @@ func TestSlowdown(t *testing.T) {
 
 func TestErrorMetric(t *testing.T) {
 	// Section 5: |estimated - actual| / actual * 100.
-	if e := Error(1.1, 1.0); math.Abs(e-10) > 1e-9 {
-		t.Fatalf("got %v", e)
+	if e, ok := Error(1.1, 1.0); !ok || math.Abs(e-10) > 1e-9 {
+		t.Fatalf("got %v %v", e, ok)
 	}
-	if e := Error(0.9, 1.0); math.Abs(e-10) > 1e-9 {
-		t.Fatalf("absolute value: got %v", e)
+	if e, ok := Error(0.9, 1.0); !ok || math.Abs(e-10) > 1e-9 {
+		t.Fatalf("absolute value: got %v %v", e, ok)
 	}
-	if e := Error(5, 0); e != 0 {
-		t.Fatalf("zero actual: got %v", e)
+	// A non-positive actual cannot be scored: the second value must tell
+	// callers to skip the sample, not hand them a free 0% error.
+	if _, ok := Error(5, 0); ok {
+		t.Fatal("zero actual scored as valid")
+	}
+	if _, ok := Error(5, -1); ok {
+		t.Fatal("negative actual scored as valid")
 	}
 }
 
@@ -36,7 +41,8 @@ func TestErrorNonNegative(t *testing.T) {
 		if math.IsNaN(est) || math.IsNaN(act) || math.IsInf(est, 0) || math.IsInf(act, 0) {
 			return true
 		}
-		return Error(est, act) >= 0
+		e, ok := Error(est, act)
+		return e >= 0 && ok == (act > 0)
 	}, nil)
 	if err != nil {
 		t.Fatal(err)

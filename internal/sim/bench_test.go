@@ -46,6 +46,18 @@ func BenchmarkSystemTickPrefetch(b *testing.B) {
 	}
 }
 
+// BenchmarkRunQuanta measures whole-quantum simulation cost for the
+// default 4-core contended system — the guard benchmark for telemetry's
+// disabled-path overhead (<2% regression allowed).
+func BenchmarkRunQuanta(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RunQuanta(1)
+	}
+	b.ReportMetric(float64(sys.Config().Quantum), "cycles/op")
+}
+
 // BenchmarkAloneProfile measures the ground-truth replay cost per
 // retired instruction.
 func BenchmarkAloneProfile(b *testing.B) {

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventHeapPropertyPopOrder: under seeded random pushes interleaved
+// with pops, the heap must always hand events out in non-decreasing cycle
+// order and popDue must never release an event from the future.
+func TestEventHeapPropertyPopOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var h eventHeap
+		pushed := 0
+		popped := 0
+		lastCycle := uint64(0)
+		for op := 0; op < 400; op++ {
+			if h.len() == 0 || rng.Intn(2) == 0 {
+				h.push(event{
+					cycle: uint64(rng.Intn(1 << 16)),
+					app:   int32(rng.Intn(8)),
+					line:  rng.Uint64(),
+				})
+				pushed++
+				continue
+			}
+			// Drain everything due at a random horizon; each event must
+			// be (a) due and (b) no earlier than its predecessor.
+			now := uint64(rng.Intn(1 << 16))
+			lastCycle = 0
+			for {
+				e, ok := h.popDue(now)
+				if !ok {
+					break
+				}
+				popped++
+				if e.cycle > now {
+					t.Fatalf("trial %d: popDue(%d) released future event at %d", trial, now, e.cycle)
+				}
+				if e.cycle < lastCycle {
+					t.Fatalf("trial %d: pop order regressed %d -> %d", trial, lastCycle, e.cycle)
+				}
+				lastCycle = e.cycle
+			}
+		}
+		if h.len() != pushed-popped {
+			t.Fatalf("trial %d: len %d, pushed %d popped %d", trial, h.len(), pushed, popped)
+		}
+		// Final full drain must also be sorted.
+		lastCycle = 0
+		for h.len() > 0 {
+			e, ok := h.popDue(^uint64(0))
+			if !ok {
+				t.Fatalf("trial %d: %d events pending but none due at max cycle", trial, h.len())
+			}
+			if e.cycle < lastCycle {
+				t.Fatalf("trial %d: drain order regressed %d -> %d", trial, lastCycle, e.cycle)
+			}
+			lastCycle = e.cycle
+		}
+	}
+}
+
+// TestEventHeapEqualCyclesAllDrain: every event scheduled for the same
+// cycle must come out in one popDue(now) drain — ties must not strand
+// completions behind each other.
+func TestEventHeapEqualCyclesAllDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	const due, later = uint64(100), uint64(200)
+	wantDue := 0
+	for i := 0; i < 300; i++ {
+		if rng.Intn(3) > 0 {
+			h.push(event{cycle: due, app: int32(i)})
+			wantDue++
+		} else {
+			h.push(event{cycle: later, app: int32(i)})
+		}
+	}
+	got := 0
+	for {
+		e, ok := h.popDue(due)
+		if !ok {
+			break
+		}
+		if e.cycle != due {
+			t.Fatalf("popDue(%d) released event at %d", due, e.cycle)
+		}
+		got++
+	}
+	if got != wantDue {
+		t.Fatalf("drained %d of %d equal-cycle events", got, wantDue)
+	}
+	if h.len() != 300-wantDue {
+		t.Fatalf("%d events left, want %d", h.len(), 300-wantDue)
+	}
+}
+
+// TestEventHeapEmpty: popping an empty heap must be a safe miss.
+func TestEventHeapEmpty(t *testing.T) {
+	var h eventHeap
+	if _, ok := h.popDue(^uint64(0)); ok {
+		t.Fatal("empty heap produced an event")
+	}
+	if h.len() != 0 {
+		t.Fatal("empty heap has non-zero length")
+	}
+}
+
+// BenchmarkEventHeap measures the push + popDue cycle at a steady-state
+// depth typical of the simulator (a few dozen in-flight L2 hits).
+func BenchmarkEventHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var h eventHeap
+	for i := 0; i < 64; i++ {
+		h.push(event{cycle: uint64(rng.Intn(1 << 20))})
+	}
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.push(event{cycle: now + uint64(rng.Intn(256))})
+		if e, ok := h.popDue(now); ok {
+			now = e.cycle + 1
+		} else {
+			now += 16
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "asmsim/internal/telemetry"
+
 // AppQuantum holds one application's counters for one quantum. The slowdown
 // models are pure functions over these counters; the sim layer accumulates
 // the superset that ASM (Table 1 + Section 4.3), FST, PTCA, MISE, UCP and
@@ -79,6 +81,39 @@ type AppQuantum struct {
 	Writebacks     uint64
 	PrefetchIssued uint64
 	PrefetchUseful uint64
+}
+
+// TelemetryCounters projects the quantum's counters into the flat,
+// JSON-stable form the telemetry recorder streams (the ATSHitsAtWay
+// profile is summarized by ATSHits; the full way profile stays a
+// model-layer concern).
+func (a *AppQuantum) TelemetryCounters() telemetry.AppCounters {
+	return telemetry.AppCounters{
+		Retired:             a.Retired,
+		MemStallCycles:      a.MemStallCycles,
+		L2Accesses:          a.L2Accesses,
+		L2Hits:              a.L2Hits,
+		L2Misses:            a.L2Misses,
+		QuantumHitTime:      a.QuantumHitTime,
+		QuantumMissTime:     a.QuantumMissTime,
+		MLPIntegral:         a.MLPIntegral,
+		EpochCount:          a.EpochCount,
+		EpochAccesses:       a.EpochAccesses,
+		EpochHits:           a.EpochHits,
+		EpochMisses:         a.EpochMisses,
+		EpochHitTime:        a.EpochHitTime,
+		EpochMissTime:       a.EpochMissTime,
+		QueueingCycles:      a.QueueingCycles,
+		MemInterfCycles:     a.MemInterfCycles,
+		MissCount:           a.MissCount,
+		MissLatencySum:      a.MissLatencySum,
+		PerReqInterfSum:     a.PerReqInterfSum,
+		PFContentionMisses:  a.PFContentionMisses,
+		ATSContentionMisses: a.ATSContentionMisses,
+		Writebacks:          a.Writebacks,
+		PrefetchIssued:      a.PrefetchIssued,
+		PrefetchUseful:      a.PrefetchUseful,
+	}
 }
 
 // QuantumStats is the per-quantum snapshot handed to models and policies.

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"asmsim/internal/cache"
 	"asmsim/internal/cpu"
 	"asmsim/internal/dram"
 	"asmsim/internal/prefetch"
 	"asmsim/internal/rng"
+	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
 )
 
@@ -113,6 +115,23 @@ type System struct {
 	missListener MissListener
 
 	totalEpochs uint64
+
+	// Telemetry handles, resolved once by SetTelemetry. All nil (no-op)
+	// by default; every touch happens at quantum boundaries only, so the
+	// disabled path costs a handful of nil checks per quantum.
+	telQuanta      *telemetry.Counter
+	telCycles      *telemetry.Counter
+	telRetired     *telemetry.Counter
+	telL2Accesses  *telemetry.Counter
+	telL2Misses    *telemetry.Counter
+	telEpochs      *telemetry.Counter
+	telHeapDepth   *telemetry.Gauge
+	telRetryDepth  *telemetry.Gauge
+	telPendingWB   *telemetry.Gauge
+	telInFlightPf  *telemetry.Gauge
+	telQuantumWall *telemetry.Timer
+	quantumStart   time.Time
+	prevEpochs     uint64
 }
 
 // New builds a system running the given application specs (one per core).
@@ -237,6 +256,35 @@ func (s *System) L2() *cache.Cache { return s.l2 }
 
 // ATS returns app's auxiliary tag store.
 func (s *System) ATS(app int) *cache.AuxTagStore { return s.ats[app] }
+
+// SetTelemetry wires the system's quantum-boundary instrumentation into
+// the registry under the "sim" scope: quanta/cycles/instruction/L2
+// traffic counters, event-heap and retry-queue depth gauges, and a
+// per-quantum wall-time timer. Handles are resolved here once, so the
+// per-quantum cost is a few atomic updates and the simulator's per-cycle
+// hot path is untouched. A nil registry (the default) disables
+// everything.
+func (s *System) SetTelemetry(r *telemetry.Registry) {
+	sc := r.Scope("sim")
+	s.telQuanta = sc.Counter("quanta")
+	s.telCycles = sc.Counter("cycles")
+	s.telRetired = sc.Counter("retired")
+	s.telL2Accesses = sc.Counter("l2_accesses")
+	s.telL2Misses = sc.Counter("l2_misses")
+	s.telEpochs = sc.Counter("epochs")
+	s.telHeapDepth = sc.Gauge("event_heap_depth")
+	s.telRetryDepth = sc.Gauge("retry_queue_depth")
+	s.telPendingWB = sc.Gauge("pending_writebacks")
+	s.telInFlightPf = sc.Gauge("inflight_prefetches")
+	s.telQuantumWall = sc.Timer("quantum_wall")
+	if s.telQuantumWall != nil {
+		s.quantumStart = time.Now()
+	}
+}
+
+// EventQueueDepth returns the number of pending L2-hit completion
+// events (the event heap's current size).
+func (s *System) EventQueueDepth() int { return s.events.len() }
 
 // AddQuantumListener registers fn to run at every quantum boundary.
 func (s *System) AddQuantumListener(fn QuantumListener) {
@@ -654,6 +702,28 @@ func (s *System) endQuantum(now uint64) {
 		aq.ATSHitsAtWay = s.ats[a].PositionHits()
 	}
 	s.qs.Quantum = s.quantum
+
+	// Telemetry: quantum-boundary counters and structure-depth gauges
+	// (no-ops until SetTelemetry wires a registry).
+	s.telQuanta.Inc()
+	s.telCycles.Add(s.cfg.Quantum)
+	s.telEpochs.Add(s.totalEpochs - s.prevEpochs)
+	s.prevEpochs = s.totalEpochs
+	for a := 0; a < s.cfg.Cores; a++ {
+		aq := &s.qs.Apps[a]
+		s.telRetired.Add(aq.Retired)
+		s.telL2Accesses.Add(aq.L2Accesses)
+		s.telL2Misses.Add(aq.L2Misses)
+	}
+	s.telHeapDepth.Set(int64(s.events.len()))
+	s.telRetryDepth.Set(int64(len(s.retryQ)))
+	s.telPendingWB.Set(int64(len(s.pendingWB)))
+	s.telInFlightPf.Set(int64(len(s.inFlightPf)))
+	if s.telQuantumWall != nil {
+		now := time.Now()
+		s.telQuantumWall.Observe(now.Sub(s.quantumStart))
+		s.quantumStart = now
+	}
 
 	snapshot := s.qs.clone()
 	for _, fn := range s.listeners {

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"time"
+)
+
+// Profiler manages the runtime profiling hooks both CLIs expose: a CPU
+// profile, a heap profile written at stop, and an optional
+// net/http/pprof server for live inspection of long sweeps.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// StartProfiler starts the requested profiling hooks; empty arguments
+// disable the corresponding hook (all empty returns a nil Profiler,
+// whose Stop is a no-op). The CPU profile starts immediately; the heap
+// profile is captured when Stop runs; pprofAddr (e.g. "localhost:6060")
+// serves /debug/pprof/ until Stop.
+func StartProfiler(cpuPath, memPath, pprofAddr string) (*Profiler, error) {
+	if cpuPath == "" && memPath == "" && pprofAddr == "" {
+		return nil, nil
+	}
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			p.stopCPU()
+			return nil, fmt.Errorf("telemetry: pprof server: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		p.ln = ln
+		p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go p.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	}
+	return p, nil
+}
+
+// PprofAddr returns the pprof server's bound address (useful with
+// ":0"), or "" when no server runs.
+func (p *Profiler) PprofAddr() string {
+	if p == nil || p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+func (p *Profiler) stopCPU() {
+	if p.cpuFile != nil {
+		rpprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// Stop stops the CPU profile, writes the heap profile, and shuts the
+// pprof server down. Safe on a nil Profiler and idempotent.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	p.stopCPU()
+	var first error
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			first = fmt.Errorf("telemetry: mem profile: %w", err)
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := rpprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("telemetry: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("telemetry: mem profile: %w", err)
+			}
+		}
+		p.memPath = ""
+	}
+	if p.srv != nil {
+		if err := p.srv.Close(); err != nil && first == nil {
+			first = fmt.Errorf("telemetry: pprof server: %w", err)
+		}
+		p.srv = nil
+		p.ln = nil
+	}
+	return first
+}

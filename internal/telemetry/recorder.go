@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// AppCounters is the flat, JSON-stable projection of one application's
+// per-quantum counters (sim.AppQuantum). The sim layer converts; this
+// package stays import-free of the simulator so both can be wired
+// together without a cycle.
+type AppCounters struct {
+	Retired        uint64 `json:"retired"`
+	MemStallCycles uint64 `json:"mem_stall_cycles"`
+
+	L2Accesses uint64 `json:"l2_accesses"`
+	L2Hits     uint64 `json:"l2_hits"`
+	L2Misses   uint64 `json:"l2_misses"`
+
+	QuantumHitTime  uint64 `json:"quantum_hit_time"`
+	QuantumMissTime uint64 `json:"quantum_miss_time"`
+	MLPIntegral     uint64 `json:"mlp_integral"`
+
+	EpochCount    uint64 `json:"epoch_count"`
+	EpochAccesses uint64 `json:"epoch_accesses"`
+	EpochHits     uint64 `json:"epoch_hits"`
+	EpochMisses   uint64 `json:"epoch_misses"`
+	EpochHitTime  uint64 `json:"epoch_hit_time"`
+	EpochMissTime uint64 `json:"epoch_miss_time"`
+
+	QueueingCycles  uint64  `json:"queueing_cycles"`
+	MemInterfCycles float64 `json:"mem_interf_cycles"`
+
+	MissCount       uint64 `json:"miss_count"`
+	MissLatencySum  uint64 `json:"miss_latency_sum"`
+	PerReqInterfSum uint64 `json:"per_req_interf_sum"`
+
+	PFContentionMisses  uint64 `json:"pf_contention_misses"`
+	ATSContentionMisses uint64 `json:"ats_contention_misses"`
+
+	Writebacks     uint64 `json:"writebacks"`
+	PrefetchIssued uint64 `json:"prefetch_issued"`
+	PrefetchUseful uint64 `json:"prefetch_useful"`
+}
+
+// QuantumRecord is one (application, quantum) time-series point: the
+// workload context, the raw counters the models consume, the actual
+// slowdown when ground truth ran, and every estimator's estimate.
+type QuantumRecord struct {
+	// Mix labels the workload ("+"-joined benchmark names); Scheme
+	// labels the resource-management configuration for policy runs.
+	Mix    string `json:"mix,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	// App is the core slot; Bench its benchmark name.
+	App   int    `json:"app"`
+	Bench string `json:"bench,omitempty"`
+	// Quantum is the zero-based quantum index.
+	Quantum int `json:"quantum"`
+	// Actual is the measured slowdown from the alone-run ground truth
+	// (omitted when no ground truth ran).
+	Actual float64 `json:"actual,omitempty"`
+	// Estimates maps estimator name to its slowdown estimate.
+	Estimates map[string]float64 `json:"estimates,omitempty"`
+	// Counters is the per-quantum counter snapshot.
+	Counters AppCounters `json:"counters"`
+}
+
+// Recorder consumes quantum records. Implementations must be safe for
+// concurrent use (sweep workers share one recorder). Write errors are
+// sticky and reported by Close, so the per-quantum hot path stays
+// error-handling-free.
+type Recorder interface {
+	Record(rec *QuantumRecord)
+	Close() error
+}
+
+// JSONLRecorder streams records as one JSON object per line.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer // underlying file when opened by path, else nil
+	err error
+}
+
+// NewJSONLRecorder writes records to w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	bw := bufio.NewWriter(w)
+	return &JSONLRecorder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// OpenJSONLRecorder creates (or truncates) the file at path and streams
+// records to it.
+func OpenJSONLRecorder(path string) (*JSONLRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	r := NewJSONLRecorder(f)
+	r.c = f
+	return r, nil
+}
+
+// Record implements Recorder.
+func (r *JSONLRecorder) Record(rec *QuantumRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(rec)
+}
+
+// Close flushes and returns the first write error, if any.
+func (r *JSONLRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ferr := r.bw.Flush(); r.err == nil {
+		r.err = ferr
+	}
+	if r.c != nil {
+		if cerr := r.c.Close(); r.err == nil {
+			r.err = cerr
+		}
+		r.c = nil
+	}
+	return r.err
+}
+
+// CSVRecorder streams records as CSV rows with a fixed column set. The
+// estimator columns are fixed at construction so concurrent writers
+// cannot race the header.
+type CSVRecorder struct {
+	mu         sync.Mutex
+	w          *csv.Writer
+	c          io.Closer
+	estimators []string
+	wroteHead  bool
+	err        error
+}
+
+// NewCSVRecorder writes CSV to w with one column per named estimator.
+func NewCSVRecorder(w io.Writer, estimators []string) *CSVRecorder {
+	ests := append([]string(nil), estimators...)
+	sort.Strings(ests)
+	return &CSVRecorder{w: csv.NewWriter(w), estimators: ests}
+}
+
+// OpenCSVRecorder creates (or truncates) the file at path.
+func OpenCSVRecorder(path string, estimators []string) (*CSVRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	r := NewCSVRecorder(f, estimators)
+	r.c = f
+	return r, nil
+}
+
+// counterColumns names the AppCounters columns in row order.
+var counterColumns = []string{
+	"retired", "mem_stall_cycles", "l2_accesses", "l2_hits", "l2_misses",
+	"quantum_hit_time", "quantum_miss_time", "mlp_integral",
+	"epoch_count", "epoch_accesses", "epoch_hits", "epoch_misses",
+	"epoch_hit_time", "epoch_miss_time",
+	"queueing_cycles", "mem_interf_cycles",
+	"miss_count", "miss_latency_sum", "per_req_interf_sum",
+	"pf_contention_misses", "ats_contention_misses",
+	"writebacks", "prefetch_issued", "prefetch_useful",
+}
+
+// counterValues renders the AppCounters in counterColumns order.
+func counterValues(c *AppCounters) []string {
+	u := strconv.FormatUint
+	return []string{
+		u(c.Retired, 10), u(c.MemStallCycles, 10),
+		u(c.L2Accesses, 10), u(c.L2Hits, 10), u(c.L2Misses, 10),
+		u(c.QuantumHitTime, 10), u(c.QuantumMissTime, 10), u(c.MLPIntegral, 10),
+		u(c.EpochCount, 10), u(c.EpochAccesses, 10), u(c.EpochHits, 10), u(c.EpochMisses, 10),
+		u(c.EpochHitTime, 10), u(c.EpochMissTime, 10),
+		u(c.QueueingCycles, 10), strconv.FormatFloat(c.MemInterfCycles, 'g', -1, 64),
+		u(c.MissCount, 10), u(c.MissLatencySum, 10), u(c.PerReqInterfSum, 10),
+		u(c.PFContentionMisses, 10), u(c.ATSContentionMisses, 10),
+		u(c.Writebacks, 10), u(c.PrefetchIssued, 10), u(c.PrefetchUseful, 10),
+	}
+}
+
+// Record implements Recorder.
+func (r *CSVRecorder) Record(rec *QuantumRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if !r.wroteHead {
+		head := append([]string{"mix", "scheme", "app", "bench", "quantum", "actual"}, r.estimators...)
+		head = append(head, counterColumns...)
+		if r.err = r.w.Write(head); r.err != nil {
+			return
+		}
+		r.wroteHead = true
+	}
+	row := []string{
+		rec.Mix, rec.Scheme,
+		strconv.Itoa(rec.App), rec.Bench, strconv.Itoa(rec.Quantum),
+		strconv.FormatFloat(rec.Actual, 'g', -1, 64),
+	}
+	for _, e := range r.estimators {
+		row = append(row, strconv.FormatFloat(rec.Estimates[e], 'g', -1, 64))
+	}
+	row = append(row, counterValues(&rec.Counters)...)
+	r.err = r.w.Write(row)
+}
+
+// Close flushes and returns the first write error, if any.
+func (r *CSVRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.Flush()
+	if ferr := r.w.Error(); r.err == nil {
+		r.err = ferr
+	}
+	if r.c != nil {
+		if cerr := r.c.Close(); r.err == nil {
+			r.err = cerr
+		}
+		r.c = nil
+	}
+	return r.err
+}
+
+// Options bundles the optional observation hooks a run or sweep honors.
+// Every field may be nil; the zero value disables all observation.
+type Options struct {
+	// Recorder receives one QuantumRecord per (app, quantum).
+	Recorder Recorder
+	// Metrics receives counters, gauges and timers.
+	Metrics *Registry
+	// Progress receives live sweep item start/finish notifications.
+	Progress *Progress
+}
