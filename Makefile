@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench cover
+.PHONY: check build vet test race bench bench-smoke bench-json cover
 
 # check is the CI gate: build + vet + tests, then the race detector over
 # the concurrency-heavy packages (sweep workers, cluster rounds, faults).
@@ -16,10 +16,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exp/... ./internal/cluster/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-smoke compiles and runs the perf-guard benchmarks once each —
+# a CI tripwire that the hot paths still build and execute, not a timing
+# measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='SweepAccuracy|RunAccuracyAllocs' -benchtime=1x -count=1 ./internal/exp/
+	$(GO) test -run='^$$' -bench='RunQuanta|SystemTick$$|AloneProfile' -benchtime=1x -count=1 ./internal/sim/
+
+# bench-json records the alone-cache speedup benchmarks as a JSON
+# artifact (BENCH_sweep.json) for cross-run comparison.
+bench-json:
+	$(GO) test -run='^$$' -bench='SweepAccuracy' -benchmem -count=1 ./internal/exp/ | $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 
 # cover prints per-package statement coverage.
 cover:

@@ -95,6 +95,11 @@ type (
 	QuantumRecord = telemetry.QuantumRecord
 	// QuantumRecorder streams QuantumRecords to a sink (JSONL or CSV).
 	QuantumRecorder = telemetry.Recorder
+	// AloneCurveCache memoizes alone-run ground-truth curves so repeated
+	// runs sharing benchmarks and configuration pay each benchmark's
+	// alone simulation once (see RunOptions.SharedAloneCache and
+	// ExperimentScale.AloneCache).
+	AloneCurveCache = sim.AloneCurveCache
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -187,6 +192,10 @@ func OpenJSONLRecorder(path string) (QuantumRecorder, error) {
 	return telemetry.OpenJSONLRecorder(path)
 }
 
+// NewAloneCurveCache returns an empty alone-run ground-truth curve
+// cache, safe for concurrent use across Runs and experiment sweeps.
+func NewAloneCurveCache() *AloneCurveCache { return sim.NewAloneCurveCache() }
+
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
 
@@ -212,6 +221,13 @@ type RunOptions struct {
 	// QuantumRecord per (app, quantum), warmup included. The zero value
 	// disables both.
 	Telemetry TelemetryOptions
+	// SharedAloneCache, when non-nil and GroundTruth is set, serves the
+	// alone-run ground truth from the shared curve cache instead of
+	// simulating a private alone replica per app: pass the same cache to
+	// several Runs under the same Config to pay each benchmark's alone
+	// run once. Reported slowdowns are bit-identical either way. nil
+	// (the default) keeps the private-replica behavior.
+	SharedAloneCache *AloneCurveCache
 }
 
 // RunResult reports per-app outcomes of a Run.
@@ -272,7 +288,8 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	sys.SetTelemetry(opt.Telemetry.Metrics)
 	var tracker *sim.SlowdownTracker
 	if opt.GroundTruth {
-		tracker, err = sim.NewSlowdownTracker(cfg, specs)
+		opt.SharedAloneCache.SetTelemetry(opt.Telemetry.Metrics.Scope("sim"))
+		tracker, err = sim.NewSlowdownTrackerShared(cfg, specs, opt.SharedAloneCache)
 		if err != nil {
 			return nil, err
 		}
@@ -290,12 +307,12 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	actualSum := make([]float64, n)
 	measured := 0
 	rec := opt.Telemetry.Recorder
+	perEst := make(map[string][]float64, len(ests)) // reused across quanta
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		var actual []float64
 		if tracker != nil {
 			actual = tracker.ActualSlowdowns(st)
 		}
-		perEst := make(map[string][]float64, len(ests))
 		for _, e := range ests {
 			perEst[e.Name()] = e.Estimate(st)
 		}

@@ -42,7 +42,11 @@ func benchRun(b *testing.B, id string) {
 	}
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		table, err := e.Run(context.Background(), sc)
+		// Fresh cache per iteration: alone-run curves are shared within
+		// one experiment regeneration, exactly as cmd/experiments runs it.
+		scIter := sc
+		scIter.AloneCache = NewAloneCurveCache()
+		table, err := e.Run(context.Background(), scIter)
 		if err != nil {
 			b.Fatal(err)
 		}

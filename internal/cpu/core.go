@@ -161,7 +161,11 @@ func (c *Core) retire(now uint64) {
 		if e.pending || e.doneAt > now {
 			break
 		}
-		c.head = (c.head + 1) % len(c.win)
+		// head and size stay below len(win), so a conditional wrap
+		// replaces the integer modulo on this per-retire hot path.
+		if c.head++; c.head == len(c.win) {
+			c.head = 0
+		}
 		c.size--
 		c.retired++
 		n++
@@ -190,7 +194,10 @@ func (c *Core) fetch(now uint64) stallKind {
 			c.fetchStall++
 			return stallMem
 		}
-		slot := (c.head + c.size) % len(c.win)
+		slot := c.head + c.size // < 2*len(win); wrap without modulo
+		if slot >= len(c.win) {
+			slot -= len(c.win)
+		}
 		token := c.next
 		e := &c.win[slot]
 		switch {

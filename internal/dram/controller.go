@@ -62,6 +62,10 @@ type Controller struct {
 	busyTicks  uint64 // DRAM ticks with a data transfer in flight
 	totalTicks uint64
 	refreshes  uint64
+
+	// refreshCountdown counts DRAM ticks down to the next refresh; zero
+	// means refresh is disabled. Replaces a per-tick modulo on TREFI.
+	refreshCountdown uint64
 }
 
 // NewController returns a controller for one channel.
@@ -85,6 +89,9 @@ func NewController(t Timing, g Geometry, channel, numApps int, policy Scheduler)
 		latencySum:     make([]uint64, numApps),
 		rowHits:        make([]uint64, numApps),
 		servedReads:    make([]uint64, numApps),
+	}
+	if t.RefreshEnabled() {
+		c.refreshCountdown = uint64(t.TREFI)
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -151,18 +158,24 @@ func (c *Controller) Tick(now uint64) {
 	if c.busBusyUntil > now {
 		c.busyTicks++
 	}
-	// Periodic refresh: all banks occupied for tRFC, rows closed.
-	if c.timing.RefreshEnabled() && c.totalTicks%uint64(c.timing.TREFI) == 0 {
-		until := now + uint64(c.timing.TRFC*c.timing.CPUPerDRAM)
-		for i := range c.banks {
-			b := &c.banks[i]
-			if b.busyUntil < until {
-				b.busyUntil = until
-				b.occupant = -1
+	// Periodic refresh: all banks occupied for tRFC, rows closed. The
+	// countdown fires on the same ticks totalTicks%TREFI==0 used to,
+	// without the per-tick modulo.
+	if c.refreshCountdown > 0 {
+		c.refreshCountdown--
+		if c.refreshCountdown == 0 {
+			c.refreshCountdown = uint64(c.timing.TREFI)
+			until := now + uint64(c.timing.TRFC*c.timing.CPUPerDRAM)
+			for i := range c.banks {
+				b := &c.banks[i]
+				if b.busyUntil < until {
+					b.busyUntil = until
+					b.occupant = -1
+				}
+				b.openRow = -1
 			}
-			b.openRow = -1
+			c.refreshes++
 		}
-		c.refreshes++
 	}
 	c.completeFinished(now)
 	c.account(now)
@@ -347,6 +360,20 @@ func (c *Controller) issue(r *Request, now uint64) {
 
 // account performs the per-tick bookkeeping the slowdown models consume.
 func (c *Controller) account(now uint64) {
+	// A single-app controller has no inter-application interference to
+	// account: every occupant, bus transfer and command slot belongs to
+	// the one app. (Refresh windows set occupant to -1, but refresh
+	// stalls happen identically in an alone run, so they are not
+	// interference either.) Alone-run replicas take this path every
+	// DRAM tick, so skipping the queue walk is a real win there.
+	if c.numApps == 1 {
+		return
+	}
+	// No queued reads: nothing can be blocked, every counter update below
+	// is a no-op. Skip the stack-array zeroing and loop setup.
+	if len(c.readQ) == 0 {
+		return
+	}
 	ratio := uint64(c.timing.CPUPerDRAM)
 
 	// Per-request and per-app (parallelism-scaled, STFM-style)

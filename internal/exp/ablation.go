@@ -67,6 +67,7 @@ func runAblQueueing(ctx context.Context, sc Scale) (*Table, error) {
 			func(i int) error {
 				c := cfg
 				c.Seed = sc.Seed + uint64(i)*1000
+				c.StreamSeed = sc.Seed
 				s, err := RunAccuracy(ctx, c, mixes[i], newEst, sc)
 				if err != nil {
 					return err
@@ -229,6 +230,7 @@ func runAblSTFM(ctx context.Context, sc Scale) (*Table, error) {
 		func(i int) error {
 			c := cfg
 			c.Seed = sc.Seed + uint64(i)*1000
+			c.StreamSeed = sc.Seed
 			s, err := RunAccuracy(ctx, c, mixes[i], func() []core.Estimator {
 				return core.SanitizeAll([]core.Estimator{
 					core.NewASM(), model.NewFST(), model.NewPTCA(),

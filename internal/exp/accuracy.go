@@ -42,7 +42,12 @@ func accuracySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, sc
 		sc.Telemetry,
 		func(i int) error {
 			c := cfg
+			// Per-mix Seed decorrelates epoch lotteries across mixes;
+			// pinning StreamSeed keeps each benchmark's instruction stream
+			// identical in every mix, so the alone-run curve cache shares
+			// one ground-truth curve per benchmark across the whole sweep.
 			c.Seed = sc.Seed + uint64(i)*1000
+			c.StreamSeed = sc.Seed
 			s, err := RunAccuracy(ctx, c, mixes[i], estAll, sc)
 			if err != nil {
 				return err

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// sweepPool is a small benchmark pool so multi-mix sweeps reuse
+// benchmarks heavily — the redundancy the alone-run curve cache exists
+// to eliminate.
+func sweepPool(t testing.TB) []workload.Spec {
+	t.Helper()
+	names := []string{"bzip2", "h264ref", "gcc", "hmmer"}
+	pool := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		pool[i] = sp
+	}
+	return pool
+}
+
+// TestAccuracySweepSharedAloneBitIdentical: an accuracy sweep with the
+// shared alone cache must produce byte-for-byte the same samples as the
+// uncached sweep — same Actual bits, same estimates, same order.
+func TestAccuracySweepSharedAloneBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two multi-mix sweeps")
+	}
+	sc := Scale{
+		Workloads:      3,
+		WarmupQuanta:   1,
+		MeasuredQuanta: 2,
+		Quantum:        150_000,
+		Epoch:          10_000,
+		Seed:           11,
+	}
+	mixes := workload.RandomMixes(sweepPool(t), 4, sc.Workloads, sc.Seed)
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+
+	run := func(cache *sim.AloneCurveCache) []Sample {
+		scRun := sc
+		scRun.AloneCache = cache
+		samples, m, err := accuracySweep(context.Background(), cfg, mixes, scRun)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Ok() {
+			t.Fatalf("sweep partial: %s", m.Summary())
+		}
+		return samples
+	}
+
+	plain := run(nil)
+	cache := sim.NewAloneCurveCache()
+	shared := run(cache)
+
+	if len(plain) == 0 || len(plain) != len(shared) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain), len(shared))
+	}
+	for i := range plain {
+		p, s := plain[i], shared[i]
+		if p.Bench != s.Bench || p.App != s.App || p.Quantum != s.Quantum || p.Actual != s.Actual {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, p, s)
+		}
+		if len(p.Est) != len(s.Est) {
+			t.Fatalf("sample %d estimate sets differ", i)
+		}
+		for name, v := range p.Est {
+			if sv, ok := s.Est[name]; !ok || sv != v {
+				t.Fatalf("sample %d estimator %s: %v vs %v", i, name, v, sv)
+			}
+		}
+	}
+	// The pool has 4 benchmarks; 3 four-app mixes must share curves.
+	if n := cache.Len(); n > len(sweepPool(t)) {
+		t.Fatalf("cache holds %d curves for a %d-benchmark pool", n, len(sweepPool(t)))
+	}
+	if cache.SavedCycles() == 0 {
+		t.Fatal("sweep reusing benchmarks saved no alone cycles")
+	}
+}

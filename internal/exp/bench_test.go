@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"asmsim/internal/sim"
+	"asmsim/internal/workload"
+)
+
+// benchSweepScale is the ≥8-mix accuracy sweep the alone-cache speedup
+// target is measured on: a 4-benchmark pool means every benchmark's
+// alone run would be re-simulated ~8 times without the cache.
+func benchSweepScale() Scale {
+	return Scale{
+		Workloads:      8,
+		WarmupQuanta:   1,
+		MeasuredQuanta: 2,
+		Quantum:        300_000,
+		Epoch:          10_000,
+		Seed:           42,
+	}
+}
+
+func runSweepBench(b *testing.B, shared bool) {
+	sc := benchSweepScale()
+	mixes := workload.RandomMixes(sweepPool(b), 4, sc.Workloads, sc.Seed)
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scRun := sc
+		if shared {
+			scRun.AloneCache = sim.NewAloneCurveCache()
+		} else {
+			scRun.AloneCache = nil
+		}
+		samples, m, err := accuracySweep(context.Background(), cfg, mixes, scRun)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Ok() || len(samples) == 0 {
+			b.Fatalf("sweep lost items: %s", m.Summary())
+		}
+	}
+}
+
+// BenchmarkSweepAccuracySharedAlone measures the multi-mix accuracy
+// sweep with the shared alone-run curve cache (a fresh cache per
+// iteration, as one experiment invocation would see it). Compare against
+// BenchmarkSweepAccuracyPrivateAlone for the cache's speedup; the
+// acceptance target is ≥2× on this ≥8-mix benchmark-reusing sweep.
+func BenchmarkSweepAccuracySharedAlone(b *testing.B) { runSweepBench(b, true) }
+
+// BenchmarkSweepAccuracyPrivateAlone is the uncached baseline: every mix
+// re-simulates a private alone run per app.
+func BenchmarkSweepAccuracyPrivateAlone(b *testing.B) { runSweepBench(b, false) }
+
+// BenchmarkRunAccuracyAllocs tracks the allocation profile of a single
+// accuracy run (the quantum-listener path): allocs/op guards the
+// estimates-map/samples reuse against regression.
+func BenchmarkRunAccuracyAllocs(b *testing.B) {
+	sc := Scale{
+		Workloads:      1,
+		WarmupQuanta:   1,
+		MeasuredQuanta: 2,
+		Quantum:        200_000,
+		Epoch:          10_000,
+		Seed:           42,
+		AloneCache:     sim.NewAloneCurveCache(),
+	}
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+	mix := workload.Mix{Names: []string{"bzip2", "h264ref", "gcc", "hmmer"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := RunAccuracy(context.Background(), cfg, mix, estAll, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(samples) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}

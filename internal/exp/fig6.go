@@ -51,6 +51,7 @@ func runFig6(ctx context.Context, sc Scale) (*Table, error) {
 		cfg := sc.BaseConfig()
 		cfg.ATSSampledSets = 0
 		cfg.Seed = sc.Seed + uint64(i)*1000
+		cfg.StreamSeed = sc.Seed
 		if err := collectEstimates(ctx, sc, cfg, m, fstU, ptcaU, asmU, false); err != nil {
 			return nil, err
 		}

@@ -35,7 +35,10 @@ func policySweep(ctx context.Context, cfg sim.Config, mixes []workload.Mix, sche
 			got := map[string]cell{}
 			for _, scheme := range schemes {
 				c := cfg
+				// See accuracySweep: per-mix Seed, sweep-wide StreamSeed so
+				// the alone-run curve cache shares curves across mixes.
 				c.Seed = sc.Seed + uint64(i)*1000
+				c.StreamSeed = sc.Seed
 				out, err := RunPolicy(ctx, c, mixes[i], scheme, sc)
 				if err != nil {
 					return fmt.Errorf("scheme %s: %w", scheme.Name, err)

@@ -96,19 +96,26 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		return nil, err
 	}
 	sys.SetTelemetry(sc.Telemetry.Metrics)
-	tracker, err := sim.NewSlowdownTracker(cfg, specs)
+	sc.AloneCache.SetTelemetry(sc.Telemetry.Metrics.Scope("sim"))
+	tracker, err := sim.NewSlowdownTrackerShared(cfg, specs, sc.AloneCache)
 	if err != nil {
 		return nil, err
 	}
 	ests := newEst()
 	rec := sc.Telemetry.Recorder
+	// The estimates map and samples slice are reused/pre-sized across
+	// quanta: only the small per-sample Est maps are allocated per
+	// quantum (they escape into the returned samples).
+	estimates := make(map[string][]float64, len(ests))
+	if m := sc.MeasuredQuanta; m > 0 {
+		samples = make([]Sample, 0, m*len(specs))
+	}
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		// Ground truth reads the pristine counters; the estimators see the
 		// possibly-corrupted snapshot, as real models would on a machine
 		// with a flaky counter readout.
 		actual := tracker.ActualSlowdowns(st)
 		stEst, _ := inj.CorruptStats(mix.String(), st)
-		estimates := make(map[string][]float64, len(ests))
 		for _, e := range ests {
 			estimates[e.Name()] = e.Estimate(stEst)
 		}
@@ -247,7 +254,8 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 	base.EpochPriority = false
 	base.Epoch = 0
 	base.Policy = sim.PolicyFRFCFS
-	tracker, err := sim.NewSlowdownTracker(base, specs)
+	sc.AloneCache.SetTelemetry(sc.Telemetry.Metrics.Scope("sim"))
+	tracker, err := sim.NewSlowdownTrackerShared(base, specs, sc.AloneCache)
 	if err != nil {
 		return PolicyOutcome{}, err
 	}

@@ -39,6 +39,13 @@ type Scale struct {
 	// receives live item start/finish updates. The zero value disables
 	// all observation.
 	Telemetry telemetry.Options
+	// AloneCache shares alone-run ground-truth curves across every run
+	// of the sweep (and across sweeps, when the same cache is passed to
+	// several experiments): each benchmark's alone run is simulated once
+	// per distinct configuration instead of once per mix. nil disables
+	// sharing and re-simulates per run, the pre-cache behavior. Quick()
+	// and Full() populate it.
+	AloneCache *sim.AloneCurveCache
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`
@@ -52,6 +59,7 @@ func Quick() Scale {
 		Quantum:        1_000_000,
 		Epoch:          10_000,
 		Seed:           42,
+		AloneCache:     sim.NewAloneCurveCache(),
 	}
 }
 
@@ -65,6 +73,7 @@ func Full() Scale {
 		Quantum:        5_000_000,
 		Epoch:          10_000,
 		Seed:           42,
+		AloneCache:     sim.NewAloneCurveCache(),
 	}
 }
 

@@ -66,6 +66,29 @@ func (s *Stream) Bool(p float64) bool {
 	return s.Float64() < p
 }
 
+// BoolThreshold precomputes the integer acceptance threshold for
+// BoolFast. BoolFast(BoolThreshold(p)) consumes one Uint64 draw and
+// answers exactly like Bool(p), without the per-call float division —
+// for hot paths that test the same probability millions of times.
+func BoolThreshold(p float64) uint64 {
+	t := p * (1 << 53) // exact: scaling by a power of two
+	if t <= 0 {
+		return 0
+	}
+	th := uint64(t)
+	if float64(th) < t {
+		// Non-integer threshold: for integer x, x < t ⟺ x < ceil(t).
+		th++
+	}
+	return th
+}
+
+// BoolFast returns true with the probability encoded by threshold
+// (obtained from BoolThreshold), advancing the stream exactly like Bool.
+func (s *Stream) BoolFast(threshold uint64) bool {
+	return s.Uint64()>>11 < threshold
+}
+
 // Geometric returns a sample from a geometric distribution with mean m
 // (number of failures before the first success, clamped to at least 0).
 // It returns 0 when m <= 0.

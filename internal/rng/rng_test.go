@@ -202,3 +202,22 @@ func TestUint64nBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBoolFastMatchesBool(t *testing.T) {
+	ps := []float64{0, 0.001, 0.01, 0.1, 0.25, 1.0 / 3.0, 0.3, 0.5, 0.7, 0.85, 0.999, 1, 1.5, -0.1}
+	for _, p := range ps {
+		th := BoolThreshold(p)
+		a := New(12345)
+		b := New(12345)
+		for i := 0; i < 100_000; i++ {
+			want := a.Bool(p)
+			got := b.BoolFast(th)
+			if got != want {
+				t.Fatalf("p=%v draw %d: BoolFast=%v Bool=%v", p, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("p=%v: streams diverged", p)
+		}
+	}
+}

@@ -22,7 +22,7 @@ type AloneProfile struct {
 // The replica keeps cfg's cache and memory organization but disables
 // epoch prioritization (meaningless with one app) and uses FR-FCFS.
 func NewAloneProfile(cfg Config, spec workload.Spec) (*AloneProfile, error) {
-	return NewAloneProfileFromSource(cfg, SourcesFromSpecs([]workload.Spec{spec}, cfg.Seed)[0])
+	return NewAloneProfileFromSource(cfg, SourcesFromSpecs([]workload.Spec{spec}, cfg.streamSeed())[0])
 }
 
 // NewAloneProfileFromSource is NewAloneProfile for a custom instruction
@@ -57,16 +57,27 @@ func (p *AloneProfile) CyclesAt(instr uint64) uint64 {
 func (p *AloneProfile) System() *System { return p.sys }
 
 // SlowdownTracker converts a shared run's per-quantum retired-instruction
-// counts into ground-truth slowdowns using one AloneProfile per app.
+// counts into ground-truth slowdowns. Each app slot is backed either by a
+// private AloneProfile replica, or — when a shared AloneCurveCache is
+// supplied — by a cursor on the cache's memoized curve, which answers the
+// same queries bit-identically without re-simulating the alone run.
 type SlowdownTracker struct {
-	profiles  []*AloneProfile
-	lastCycle []uint64 // alone cycles at the previous quantum's milestone
-	total     []uint64 // cumulative shared-run retired instructions
+	profiles  []*AloneProfile // private replicas (nil for cached slots)
+	cursors   []*AloneCursor  // shared-curve cursors (nil for private slots)
+	lastCycle []uint64        // alone cycles at the previous quantum's milestone
+	total     []uint64        // cumulative shared-run retired instructions
 }
 
 // NewSlowdownTracker builds ground-truth trackers for each spec under cfg.
 func NewSlowdownTracker(cfg Config, specs []workload.Spec) (*SlowdownTracker, error) {
-	return NewSlowdownTrackerFromSources(cfg, SourcesFromSpecs(specs, cfg.Seed))
+	return NewSlowdownTrackerShared(cfg, specs, nil)
+}
+
+// NewSlowdownTrackerShared is NewSlowdownTracker serving the alone-run
+// ground truth from cache (nil disables sharing and behaves exactly like
+// NewSlowdownTracker).
+func NewSlowdownTrackerShared(cfg Config, specs []workload.Spec, cache *AloneCurveCache) (*SlowdownTracker, error) {
+	return NewSlowdownTrackerFromSourcesShared(cfg, SourcesFromSpecs(specs, cfg.streamSeed()), cache)
 }
 
 // NewSlowdownTrackerFromSources is NewSlowdownTracker for custom
@@ -74,12 +85,28 @@ func NewSlowdownTracker(cfg Config, specs []workload.Spec) (*SlowdownTracker, er
 // slot advances to its own milestones, so each keeps its own replica
 // cursor.
 func NewSlowdownTrackerFromSources(cfg Config, apps []AppSource) (*SlowdownTracker, error) {
+	return NewSlowdownTrackerFromSourcesShared(cfg, apps, nil)
+}
+
+// NewSlowdownTrackerFromSourcesShared is NewSlowdownTrackerFromSources
+// with an optional shared curve cache. Sources without a stream key
+// (custom traces) silently fall back to private replicas.
+func NewSlowdownTrackerFromSourcesShared(cfg Config, apps []AppSource, cache *AloneCurveCache) (*SlowdownTracker, error) {
 	t := &SlowdownTracker{
 		profiles:  make([]*AloneProfile, len(apps)),
+		cursors:   make([]*AloneCursor, len(apps)),
 		lastCycle: make([]uint64, len(apps)),
 		total:     make([]uint64, len(apps)),
 	}
 	for i, app := range apps {
+		if cache != nil && app.Key != "" {
+			cu, err := cache.Cursor(cfg, app)
+			if err != nil {
+				return nil, err
+			}
+			t.cursors[i] = cu
+			continue
+		}
 		p, err := NewAloneProfileFromSource(cfg, app)
 		if err != nil {
 			return nil, err
@@ -87,6 +114,14 @@ func NewSlowdownTrackerFromSources(cfg Config, apps []AppSource) (*SlowdownTrack
 		t.profiles[i] = p
 	}
 	return t, nil
+}
+
+// cyclesAt answers slot a's milestone query from its cursor or replica.
+func (t *SlowdownTracker) cyclesAt(a int, instr uint64) uint64 {
+	if cu := t.cursors[a]; cu != nil {
+		return cu.CyclesAt(instr)
+	}
+	return t.profiles[a].CyclesAt(instr)
 }
 
 // ActualSlowdowns consumes one quantum's stats from the shared run and
@@ -97,7 +132,7 @@ func (t *SlowdownTracker) ActualSlowdowns(st *QuantumStats) []float64 {
 	out := make([]float64, len(t.profiles))
 	for a := range t.profiles {
 		t.total[a] += st.Apps[a].Retired
-		cyc := t.profiles[a].CyclesAt(t.total[a])
+		cyc := t.cyclesAt(a, t.total[a])
 		delta := cyc - t.lastCycle[a]
 		t.lastCycle[a] = cyc
 		if delta == 0 {

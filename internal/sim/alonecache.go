@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"asmsim/internal/telemetry"
+)
+
+// AloneCurveCache is a process-wide, concurrency-safe cache of alone-run
+// ground-truth curves. A curve is the monotone step function
+//
+//	instructions retired -> first cycle at which the alone run has
+//	retired at least that many instructions
+//
+// of one application running alone on one (canonicalized) configuration.
+// Instead of every SlowdownTracker ticking a private single-core replica
+// to each milestone — re-simulating the same benchmark once per workload
+// mix — the cache simulates each (config, stream) pair once, records one
+// point per retiring cycle into a compact sorted array while extending
+// lazily on demand under a per-entry lock, and answers every CyclesAt
+// query from any mix or worker by binary search.
+//
+// Sharing is sound because curve identity is exact: instruction streams
+// are pure functions of their AppSource.Key (for generator-backed
+// sources, the (spec, seed) pair — see SourcesFromSpecs), and the
+// canonical alone configuration (Config.aloneCurveConfig) retains every
+// timing-relevant knob while normalizing away the ones a solo run cannot
+// observe. Cached answers are bit-identical to a private AloneProfile's.
+//
+// The zero value is not ready; use NewAloneCurveCache. All methods are
+// safe for concurrent use. A nil *AloneCurveCache is accepted by the
+// tracker constructors and simply disables sharing.
+type AloneCurveCache struct {
+	mu      sync.Mutex
+	entries map[aloneKey]*aloneCurve
+
+	saved  atomic.Uint64 // replica cycles avoided versus private replicas
+	points atomic.Int64  // total recorded curve points
+	tel    atomic.Pointer[aloneCacheTel]
+}
+
+// aloneKey identifies one curve: the canonical alone-config fingerprint
+// plus the instruction-stream identity.
+type aloneKey struct {
+	cfg string
+	app string
+}
+
+// aloneCacheTel holds resolved telemetry handles (see SetTelemetry).
+type aloneCacheTel struct {
+	hits           *telemetry.Counter
+	misses         *telemetry.Counter
+	extensions     *telemetry.Counter
+	extendedCycles *telemetry.Counter
+	savedCycles    *telemetry.Gauge
+	entries        *telemetry.Gauge
+	points         *telemetry.Gauge
+}
+
+// NewAloneCurveCache returns an empty cache.
+func NewAloneCurveCache() *AloneCurveCache {
+	return &AloneCurveCache{entries: map[aloneKey]*aloneCurve{}}
+}
+
+// SetTelemetry publishes the cache's counters under the "alone_cache"
+// scope of r: hits (queries answered without simulating), misses (curves
+// built), extensions (queries that had to advance a replica),
+// extended_cycles (replica cycles actually simulated), and the
+// saved_cycles / entries / points gauges. A nil registry disables
+// telemetry. Safe to call concurrently with queries.
+func (c *AloneCurveCache) SetTelemetry(r *telemetry.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	sc := r.Scope("alone_cache")
+	t := &aloneCacheTel{
+		hits:           sc.Counter("hits"),
+		misses:         sc.Counter("misses"),
+		extensions:     sc.Counter("extensions"),
+		extendedCycles: sc.Counter("extended_cycles"),
+		savedCycles:    sc.Gauge("saved_cycles"),
+		entries:        sc.Gauge("entries"),
+		points:         sc.Gauge("points"),
+	}
+	c.mu.Lock()
+	t.entries.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+	t.points.Set(c.points.Load())
+	t.savedCycles.Set(int64(c.saved.Load()))
+	c.tel.Store(t)
+}
+
+// Cursor returns a per-tracker-slot view of app's alone curve under cfg,
+// creating the curve entry (and its lazily-ticked replica) on first use.
+// Each slot needs its own cursor because saved-cycle accounting tracks
+// the slot's previous milestone. Sources without a stream key cannot be
+// cached and return an error; callers fall back to a private replica.
+func (c *AloneCurveCache) Cursor(cfg Config, app AppSource) (*AloneCursor, error) {
+	if app.Key == "" {
+		return nil, fmt.Errorf("sim: source %q has no stream key; alone curve not shareable", app.Name)
+	}
+	alone := cfg.aloneCurveConfig()
+	key := aloneKey{cfg: alone.Fingerprint(), app: app.Key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cv := c.entries[key]
+	if cv == nil {
+		sys, err := NewWithSources(alone, []AppSource{app})
+		if err != nil {
+			return nil, err
+		}
+		cv = &aloneCurve{cache: c, sys: sys}
+		c.entries[key] = cv
+		if t := c.tel.Load(); t != nil {
+			t.misses.Inc()
+			t.entries.Set(int64(len(c.entries)))
+		}
+	}
+	return &AloneCursor{curve: cv}, nil
+}
+
+// Len returns the number of cached curves.
+func (c *AloneCurveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Points returns the total number of recorded curve points across all
+// entries (each point costs 8–16 bytes).
+func (c *AloneCurveCache) Points() int64 { return c.points.Load() }
+
+// SavedCycles returns the cumulative replica cycles that cache hits
+// avoided simulating compared to per-tracker private replicas.
+func (c *AloneCurveCache) SavedCycles() uint64 { return c.saved.Load() }
+
+// Reset drops all cached curves, bounding memory between independent
+// sweeps. Outstanding cursors keep their (now unlisted) curves working.
+func (c *AloneCurveCache) Reset() {
+	c.mu.Lock()
+	c.entries = map[aloneKey]*aloneCurve{}
+	c.mu.Unlock()
+	c.points.Store(0)
+	if t := c.tel.Load(); t != nil {
+		t.entries.Set(0)
+		t.points.Set(0)
+	}
+}
+
+// observe records one query's accounting: delta is the alone-cycle
+// advance the query represents, ticked the replica cycles actually
+// simulated to cover it. Their difference is work a private replica
+// would have re-simulated.
+func (c *AloneCurveCache) observe(delta, ticked uint64) {
+	if delta > ticked {
+		c.saved.Add(delta - ticked)
+	}
+	t := c.tel.Load()
+	if t == nil {
+		return
+	}
+	if ticked > 0 {
+		t.extensions.Inc()
+		t.extendedCycles.Add(ticked)
+	} else {
+		t.hits.Inc()
+	}
+	t.savedCycles.Set(int64(c.saved.Load()))
+	t.points.Set(c.points.Load())
+}
+
+// aloneCurve is one cached (instructions -> cycles) step curve plus the
+// replica that extends it. Points are packed (instr<<32 | cycle) into a
+// single uint64 slice while both fit in 32 bits — both sequences are
+// monotone, so packed values sort by instruction count and one slice
+// halves the footprint; runs long enough to overflow spill into the wide
+// parallel-slice continuation.
+type aloneCurve struct {
+	cache *AloneCurveCache
+
+	mu     sync.RWMutex
+	sys    *System
+	packed []uint64
+	instrW []uint64
+	cycleW []uint64
+}
+
+// cyclesAt returns the first cycle with at least n instructions retired,
+// extending the curve if needed, plus the replica cycles ticked to get
+// there. The fast path answers from the recorded prefix under a read
+// lock; only uncovered queries take the write lock and tick the replica.
+func (c *aloneCurve) cyclesAt(n uint64) (cyc, ticked uint64) {
+	if n == 0 {
+		return 0, 0
+	}
+	c.mu.RLock()
+	if c.covered(n) {
+		cyc = c.lookup(n)
+		c.mu.RUnlock()
+		return cyc, 0
+	}
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.covered(n) {
+		prev := c.sys.Retired(0)
+		c.sys.Tick()
+		ticked++
+		if r := c.sys.Retired(0); r > prev {
+			c.append(r, c.sys.Cycle())
+		}
+	}
+	return c.lookup(n), ticked
+}
+
+// covered reports whether the recorded curve already reaches milestone n.
+// Callers hold c.mu (either mode).
+func (c *aloneCurve) covered(n uint64) bool {
+	if m := len(c.instrW); m > 0 {
+		return c.instrW[m-1] >= n
+	}
+	if m := len(c.packed); m > 0 {
+		return c.packed[m-1]>>32 >= n
+	}
+	return false
+}
+
+// lookup binary-searches the first point with instr >= n and returns its
+// cycle. Callers hold c.mu and have checked covered(n).
+func (c *aloneCurve) lookup(n uint64) uint64 {
+	if m := len(c.packed); m > 0 && c.packed[m-1]>>32 >= n {
+		i := sort.Search(m, func(i int) bool { return c.packed[i]>>32 >= n })
+		return c.packed[i] & (1<<32 - 1)
+	}
+	i := sort.Search(len(c.instrW), func(i int) bool { return c.instrW[i] >= n })
+	return c.cycleW[i]
+}
+
+// append records the point (instr, cycle). Callers hold c.mu for writing.
+func (c *aloneCurve) append(instr, cycle uint64) {
+	if len(c.instrW) == 0 && instr < 1<<32 && cycle < 1<<32 {
+		c.packed = append(c.packed, instr<<32|cycle)
+	} else {
+		c.instrW = append(c.instrW, instr)
+		c.cycleW = append(c.cycleW, cycle)
+	}
+	c.cache.points.Add(1)
+}
+
+// AloneCursor is one tracker slot's handle on a shared alone curve. It
+// remembers the slot's previous answer so the cache can account saved
+// cycles; the curve itself is shared and concurrency-safe.
+type AloneCursor struct {
+	curve *aloneCurve
+	last  uint64
+}
+
+// CyclesAt returns the cycle at which the alone run has retired at least
+// instr instructions — the same contract and bit-identical values as
+// AloneProfile.CyclesAt. Queries must be non-decreasing per cursor (they
+// are: cumulative milestones only grow).
+func (cu *AloneCursor) CyclesAt(instr uint64) uint64 {
+	cyc, ticked := cu.curve.cyclesAt(instr)
+	cu.curve.cache.observe(cyc-cu.last, ticked)
+	cu.last = cyc
+	return cyc
+}

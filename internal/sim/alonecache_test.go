@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"asmsim/internal/telemetry"
+	"asmsim/internal/workload"
+)
+
+func mustSpecs(t testing.TB, names []string) []workload.Spec {
+	t.Helper()
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		specs[i] = sp
+	}
+	return specs
+}
+
+// TestSlowdownTrackerSharedEquivalence: the cached tracker must produce
+// bit-identical ActualSlowdowns to the private-replica tracker across a
+// sweep of mixes that reuse benchmarks — including across configs that
+// differ only in knobs the curve key normalizes away (per-mix Seed,
+// Quantum, ATS sampling).
+func TestSlowdownTrackerSharedEquivalence(t *testing.T) {
+	cache := NewAloneCurveCache()
+	reg := telemetry.NewRegistry()
+	cache.SetTelemetry(reg.Scope("sim"))
+	mixes := [][]string{
+		{"mcf", "libquantum", "bzip2", "h264ref"},
+		{"bzip2", "h264ref", "gcc", "mcf"},
+	}
+	for mi, names := range mixes {
+		cfg := DefaultConfig()
+		cfg.Quantum = 120_000
+		cfg.ATSSampledSets = 64
+		cfg.Seed = 7 + uint64(mi)*1000 // per-mix seed, as the sweeps set it
+		cfg.StreamSeed = 7
+		if mi == 1 {
+			cfg.Quantum = 60_000 // normalized out of the curve key
+		}
+		specs := mustSpecs(t, names)
+		sys, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := NewSlowdownTrackerShared(cfg, specs, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewSlowdownTracker(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.AddQuantumListener(func(_ *System, st *QuantumStats) {
+			want := plain.ActualSlowdowns(st)
+			got := cached.ActualSlowdowns(st)
+			for a := range want {
+				if got[a] != want[a] {
+					t.Fatalf("mix %d app %d (%s) quantum %d: cached %v != uncached %v",
+						mi, a, names[a], st.Quantum, got[a], want[a])
+				}
+			}
+		})
+		sys.RunQuanta(3)
+	}
+	// 5 distinct benchmarks across both mixes; the repeats (and the
+	// second mix's different Quantum/Seed) must all hit shared entries.
+	if cache.Len() != 5 {
+		t.Fatalf("cache holds %d curves, want 5 (one per distinct benchmark)", cache.Len())
+	}
+	if cache.SavedCycles() == 0 {
+		t.Fatal("repeated benchmarks saved no cycles")
+	}
+	hits := false
+	for _, m := range reg.Snapshot() {
+		if strings.HasPrefix(m.Name, "sim.alone_cache.") && m.Value > 0 {
+			hits = true
+		}
+	}
+	if !hits {
+		t.Fatal("telemetry recorded no alone_cache activity")
+	}
+}
+
+// TestAloneCurveConcurrentExtension: many goroutines extend and query the
+// same curve concurrently (run under -race); every answer must equal the
+// private replica's, regardless of interleaving.
+func TestAloneCurveConcurrentExtension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quantum = 100_000
+	apps := SourcesFromSpecs(mustSpecs(t, []string{"gcc"}), cfg.streamSeed())
+	prof, err := NewAloneProfileFromSource(cfg, apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step, nq = 3_000, 40
+	want := make([]uint64, nq)
+	for i := range want {
+		want[i] = prof.CyclesAt(uint64(i+1) * step)
+	}
+
+	cache := NewAloneCurveCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cu, err := cache.Cursor(cfg, apps[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Different start/stride per goroutine: cursors race to extend
+			// the shared curve while others answer from the covered prefix.
+			for i := g % 4; i < nq; i += 1 + g%3 {
+				m := uint64(i+1) * step
+				if got := cu.CyclesAt(m); got != want[i] {
+					t.Errorf("goroutine %d milestone %d: got %d want %d", g, m, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() != 1 {
+		t.Fatalf("one stream produced %d curves", cache.Len())
+	}
+	if cache.Points() == 0 {
+		t.Fatal("curve recorded no points")
+	}
+}
+
+// TestAloneCursorZeroMilestone: milestone 0 answers cycle 0 without
+// simulating, matching the uncached replica.
+func TestAloneCursorZeroMilestone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quantum = 100_000
+	apps := SourcesFromSpecs(mustSpecs(t, []string{"gcc"}), cfg.streamSeed())
+	cache := NewAloneCurveCache()
+	cu, err := cache.Cursor(cfg, apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cu.CyclesAt(0); c != 0 {
+		t.Fatalf("CyclesAt(0) = %d", c)
+	}
+	if cache.Points() != 0 {
+		t.Fatal("zero milestone must not tick the replica")
+	}
+}
+
+// TestAloneCacheKeylessSource: a source without a stream key cannot be
+// cached; the shared tracker constructor must fall back to a private
+// replica rather than fail.
+func TestAloneCacheKeylessSource(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Quantum = 50_000
+	apps := SourcesFromSpecs(mustSpecs(t, []string{"gcc"}), cfg.streamSeed())
+	apps[0].Key = ""
+	cache := NewAloneCurveCache()
+	if _, err := cache.Cursor(cfg, apps[0]); err == nil {
+		t.Fatal("keyless source must not be cacheable")
+	}
+	tr, err := NewSlowdownTrackerFromSourcesShared(cfg, apps, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.cursors[0] != nil || tr.profiles[0] == nil {
+		t.Fatal("keyless source must fall back to a private replica")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("fallback must not populate the cache")
+	}
+}
+
+func TestConfigFingerprint(t *testing.T) {
+	a := DefaultConfig()
+	b := a
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal configs must have equal fingerprints")
+	}
+	b.L2Bytes *= 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("L2 capacity must be part of the fingerprint")
+	}
+	// Defaults resolve: the zero backpressure equals the explicit default.
+	c := a
+	c.WritebackBackpressure = defaultWritebackBackpressure
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("default writeback backpressure must resolve in the fingerprint")
+	}
+
+	// The curve key normalizes everything a solo run cannot observe...
+	d := a
+	d.Cores = 16
+	d.Quantum = 250_000
+	d.ATSSampledSets = 64
+	d.Seed = 999
+	d.StreamSeed = a.Seed
+	if a.aloneCurveConfig().Fingerprint() != d.aloneCurveConfig().Fingerprint() {
+		t.Fatal("solo-invisible knobs must normalize out of the curve key")
+	}
+	// ...and keeps everything timing-relevant.
+	e := a
+	e.Channels = 2
+	if a.aloneCurveConfig().Fingerprint() == e.aloneCurveConfig().Fingerprint() {
+		t.Fatal("channel count must stay in the curve key")
+	}
+}
+
+func TestWritebackBackpressureValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WritebackBackpressure = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative backpressure accepted")
+	}
+	cfg.WritebackBackpressure = 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.wbBackpressure(); got != 8 {
+		t.Fatalf("explicit backpressure %d", got)
+	}
+	cfg.WritebackBackpressure = 0
+	if got := cfg.wbBackpressure(); got != defaultWritebackBackpressure {
+		t.Fatalf("zero backpressure resolved to %d", got)
+	}
+}

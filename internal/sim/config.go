@@ -78,8 +78,23 @@ type Config struct {
 	// Prefetch enables the per-core stride prefetcher (Section 6.2).
 	Prefetch bool
 
+	// WritebackBackpressure is the maximum number of parked writebacks
+	// (dirty evictions waiting for memory write-queue space) before the
+	// memory path backpressures new L1 misses. 0 selects the default of
+	// 32, which preserves the historical behavior; negative is invalid.
+	WritebackBackpressure int
+
 	// Seed drives all pseudo-random streams.
 	Seed uint64
+
+	// StreamSeed, when non-zero, seeds the synthetic instruction streams
+	// independently of Seed (which keeps driving the epoch lottery and
+	// scheduler randomness). Sweeps set StreamSeed to one fixed value
+	// across all workload mixes so a benchmark replays the same stream in
+	// every mix — the property that lets the alone-run ground-truth curve
+	// cache (AloneCurveCache) pay each benchmark's alone simulation once
+	// per sweep instead of once per mix. 0 selects Seed.
+	StreamSeed uint64
 }
 
 // DefaultConfig returns the paper's main evaluation system: 4 cores, 2 MB
@@ -125,6 +140,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: need at least one channel")
 	case c.MSHRs <= 0 || c.WindowSize <= 0 || c.IssueWidth <= 0:
 		return fmt.Errorf("sim: core resources must be positive")
+	case c.WritebackBackpressure < 0:
+		return fmt.Errorf("sim: writeback backpressure must be non-negative (0 selects the default of %d)", defaultWritebackBackpressure)
 	}
 	l1Sets := c.L1Bytes / (workload.LineSize * c.L1Ways)
 	l2Sets := c.L2Bytes / (workload.LineSize * c.L2Ways)
@@ -149,4 +166,73 @@ func (c Config) timing() dram.Timing {
 		return dram.DDR31333()
 	}
 	return c.Timing
+}
+
+// defaultWritebackBackpressure is the historical hard-coded limit on
+// parked writebacks before the memory path rejects new L1 misses.
+const defaultWritebackBackpressure = 32
+
+// wbBackpressure returns the writeback backpressure threshold, resolving
+// the zero value to the default.
+func (c Config) wbBackpressure() int {
+	if c.WritebackBackpressure == 0 {
+		return defaultWritebackBackpressure
+	}
+	return c.WritebackBackpressure
+}
+
+// streamSeed returns the seed driving the synthetic instruction streams:
+// StreamSeed if set, else Seed.
+func (c Config) streamSeed() uint64 {
+	if c.StreamSeed != 0 {
+		return c.StreamSeed
+	}
+	return c.Seed
+}
+
+// Fingerprint returns a canonical string identifying every
+// behavior-relevant knob of the configuration, with defaults resolved
+// (timing, writeback backpressure, stream seed). Two configs with equal
+// fingerprints simulate identically given identical sources. The
+// alone-run curve cache keys entries by the fingerprint of the
+// canonicalized single-core configuration (see aloneCurveConfig).
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf(
+		"cores=%d l1=%d/%d/%d l2=%d/%d/%d mshr=%d win=%d iw=%d ch=%d timing=%+v q=%d e=%d ep=%t rr=%t ats=%d pol=%s pref=%t wb=%d seed=%d stream=%d",
+		c.Cores, c.L1Bytes, c.L1Ways, c.L1Latency,
+		c.L2Bytes, c.L2Ways, c.L2Latency,
+		c.MSHRs, c.WindowSize, c.IssueWidth,
+		c.Channels, c.timing(), c.Quantum, c.Epoch,
+		c.EpochPriority, c.EpochRoundRobin, c.ATSSampledSets, c.Policy,
+		c.Prefetch, c.wbBackpressure(), c.Seed, c.streamSeed())
+}
+
+// aloneCurveConfig canonicalizes a shared-run config to the single-core
+// configuration an alone-run ground-truth curve is keyed and simulated
+// under. Beyond the single-core normalization every alone replica needs
+// (one core, no epoch prioritization, FR-FCFS — a lone app on FR-FCFS
+// hardware is the paper's alone-run definition), it also zeroes the
+// knobs proven timing-invisible for a solo run, so sweeps over them
+// share one curve:
+//
+//   - ATSSampledSets and the pollution filter only feed estimation
+//     counters, never hit/miss outcomes or latencies;
+//   - Quantum boundaries only reset accounting state (per-quantum DRAM
+//     and cache counters), never scheduling state, so quantum length
+//     cannot change when instructions retire;
+//   - Seed only drives the epoch lottery and TCM clustering, both
+//     disabled here; stream identity lives in the AppSource key, not
+//     the config.
+func (c Config) aloneCurveConfig() Config {
+	a := c
+	a.Cores = 1
+	a.EpochPriority = false
+	a.Epoch = 0
+	a.EpochRoundRobin = false
+	a.Policy = PolicyFRFCFS
+	a.ATSSampledSets = 0
+	a.Quantum = 1_000_000
+	a.Seed = 1
+	a.StreamSeed = 0
+	return a
 }

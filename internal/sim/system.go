@@ -38,6 +38,16 @@ type missTxn struct {
 type AppSource struct {
 	Name string
 	New  func(slot int) cpu.InstrSource
+
+	// Key identifies the instruction stream's content: two sources with
+	// equal keys must replay identical streams (for generator-backed
+	// sources that is the (spec, seed) pair — the slot only offsets the
+	// address-space base, which a single-core replica never shares with
+	// anyone). A non-empty Key lets the alone-run curve cache share one
+	// ground-truth curve across every mix the stream appears in; an
+	// empty Key (custom/trace sources) opts out and falls back to a
+	// private alone replica.
+	Key string
 }
 
 // SourcesFromSpecs adapts workload specs into replayable sources.
@@ -50,6 +60,7 @@ func SourcesFromSpecs(specs []workload.Spec, seed uint64) []AppSource {
 			New: func(slot int) cpu.InstrSource {
 				return workload.NewGenerator(sp, slot, seed)
 			},
+			Key: fmt.Sprintf("spec{%+v} seed=%d", sp, seed),
 		}
 	}
 	return apps
@@ -78,6 +89,17 @@ type System struct {
 	cfg   Config
 	apps  []AppSource
 	cycle uint64
+
+	// Per-cycle invariants hoisted out of Tick's hot loop: resolving them
+	// through cfg costs a defaulting call (timing()) or a modulo per
+	// cycle, which profiles as a measurable slice of simulator time.
+	ncores        int
+	epochOn       bool
+	cpuPerDRAM    uint64 // CPU cycles per DRAM tick
+	dramCountdown uint64 // cycles until the next DRAM tick
+	nextEpoch     uint64 // cycle of the next epoch boundary
+	quantumEnd    uint64 // last cycle of the current quantum
+	wbLimit       int    // writeback backpressure threshold
 
 	cores []*cpu.Core
 
@@ -144,7 +166,7 @@ func New(cfg Config, specs []workload.Spec) (*System, error) {
 			return nil, err
 		}
 	}
-	return NewWithSources(cfg, SourcesFromSpecs(specs, cfg.Seed))
+	return NewWithSources(cfg, SourcesFromSpecs(specs, cfg.streamSeed()))
 }
 
 // NewWithSources builds a system from custom instruction sources (e.g.,
@@ -161,6 +183,11 @@ func NewWithSources(cfg Config, apps []AppSource) (*System, error) {
 	s := &System{
 		cfg:          cfg,
 		apps:         append([]AppSource(nil), apps...),
+		ncores:       n,
+		epochOn:      cfg.EpochPriority,
+		cpuPerDRAM:   uint64(cfg.timing().CPUPerDRAM),
+		quantumEnd:   cfg.Quantum - 1,
+		wbLimit:      cfg.wbBackpressure(),
 		epochOwner:   -1,
 		epochRnd:     rng.NewNamed(cfg.Seed, "epochs"),
 		outHits:      make([]int, n),
@@ -324,13 +351,20 @@ func (s *System) RunQuanta(n int) {
 }
 
 // Tick advances the system by one CPU cycle.
+//
+// The boundary checks (epoch, DRAM tick, quantum end) compare against
+// maintained next-boundary counters instead of computing `now % period`
+// three times per cycle; the periods and core count are hoisted into
+// fields at construction. Behavior is cycle-for-cycle identical to the
+// modulo form.
 func (s *System) Tick() {
 	now := s.cycle
 
 	// Epoch boundary: pick the next owner and prioritize it at memory.
-	if s.cfg.EpochPriority && now%s.cfg.Epoch == 0 {
+	if s.epochOn && now == s.nextEpoch {
+		s.nextEpoch += s.cfg.Epoch
 		if s.cfg.EpochRoundRobin {
-			s.epochOwner = int(s.totalEpochs % uint64(s.cfg.Cores))
+			s.epochOwner = int(s.totalEpochs % uint64(s.ncores))
 		} else {
 			s.epochOwner = s.epochRnd.Pick(s.epochWeights)
 		}
@@ -350,11 +384,13 @@ func (s *System) Tick() {
 
 	// DRAM tick (completions fire miss fills), then retry work that was
 	// blocked on queue space.
-	if now%uint64(s.cfg.timing().CPUPerDRAM) == 0 {
+	if s.dramCountdown == 0 {
 		s.mem.Tick(now)
 		s.flushWritebacks(now)
 		s.retryMisses(now)
+		s.dramCountdown = s.cpuPerDRAM
 	}
+	s.dramCountdown--
 
 	for _, c := range s.cores {
 		c.Tick(now)
@@ -363,25 +399,28 @@ func (s *System) Tick() {
 	// Per-cycle outstanding-transaction integrals (Table 1 and the
 	// quantum-wide variants ASM-Cache uses).
 	owner := s.epochOwner
-	for a := 0; a < s.cfg.Cores; a++ {
-		aq := &s.qs.Apps[a]
-		if s.outHits[a] > 0 {
+	apps := s.qs.Apps
+	outHits, outMiss := s.outHits, s.outMiss
+	for a := 0; a < s.ncores; a++ {
+		aq := &apps[a]
+		if outHits[a] > 0 {
 			aq.QuantumHitTime++
 			if a == owner {
 				aq.EpochHitTime++
 			}
 		}
-		if s.outMiss[a] > 0 {
+		if m := outMiss[a]; m > 0 {
 			aq.QuantumMissTime++
-			aq.MLPIntegral += uint64(s.outMiss[a])
+			aq.MLPIntegral += uint64(m)
 			if a == owner {
 				aq.EpochMissTime++
 			}
 		}
 	}
 
-	if (now+1)%s.cfg.Quantum == 0 {
+	if now == s.quantumEnd {
 		s.endQuantum(now)
+		s.quantumEnd += s.cfg.Quantum
 	}
 	s.cycle++
 }
@@ -392,7 +431,7 @@ func (s *System) Read(app int, addr uint64, token uint64, now uint64) (bool, uin
 	if s.l1[app].Lookup(app, line, false) {
 		return true, uint64(s.cfg.L1Latency), true
 	}
-	if len(s.pendingWB) > 32 {
+	if len(s.pendingWB) > s.wbLimit {
 		return false, 0, false // backpressure: memory system saturated
 	}
 	m := s.l1mshr[app]
@@ -414,7 +453,7 @@ func (s *System) Write(app int, addr uint64, now uint64) bool {
 	if s.l1[app].Lookup(app, line, true) {
 		return true
 	}
-	if len(s.pendingWB) > 32 {
+	if len(s.pendingWB) > s.wbLimit {
 		return false
 	}
 	m := s.l1mshr[app]
@@ -656,7 +695,7 @@ func (s *System) flushWritebacks(now uint64) {
 	if len(s.pendingWB) == 0 {
 		return
 	}
-	wasBackpressured := len(s.pendingWB) > 32
+	wasBackpressured := len(s.pendingWB) > s.wbLimit
 	kept := s.pendingWB[:0]
 	for _, packed := range s.pendingWB {
 		line := packed & ((1 << 56) - 1)
@@ -667,7 +706,7 @@ func (s *System) flushWritebacks(now uint64) {
 		}
 	}
 	s.pendingWB = kept
-	if wasBackpressured && len(s.pendingWB) <= 32 {
+	if wasBackpressured && len(s.pendingWB) <= s.wbLimit {
 		for _, c := range s.cores {
 			c.Wake()
 		}
@@ -725,9 +764,14 @@ func (s *System) endQuantum(now uint64) {
 		s.quantumStart = now
 	}
 
-	snapshot := s.qs.clone()
-	for _, fn := range s.listeners {
-		fn(s, snapshot)
+	// Clone only when someone is listening: listeners may retain the
+	// snapshot, but without listeners the deep copy is pure churn (alone
+	// replicas cross thousands of quantum boundaries with no listeners).
+	if len(s.listeners) > 0 {
+		snapshot := s.qs.clone()
+		for _, fn := range s.listeners {
+			fn(s, snapshot)
+		}
 	}
 
 	// TCM re-clusters at quantum boundaries using fresh intensity data.
@@ -743,12 +787,20 @@ func (s *System) endQuantum(now uint64) {
 	s.resetQuantumStats()
 }
 
-// resetQuantumStats clears all per-quantum accumulators.
+// resetQuantumStats clears all per-quantum accumulators. The Apps slice
+// is reused across quanta (listeners only ever see deep-copied clones),
+// so steady-state quanta allocate nothing here.
 func (s *System) resetQuantumStats() {
 	n := s.cfg.Cores
 	sampledSets := s.cfg.ATSSampledSets
 	if sampledSets <= 0 {
 		sampledSets = s.cfg.L2Sets()
+	}
+	apps := s.qs.Apps
+	if len(apps) == n {
+		clear(apps)
+	} else {
+		apps = make([]AppQuantum, n)
 	}
 	s.qs = QuantumStats{
 		Quantum:      s.quantum,
@@ -757,7 +809,7 @@ func (s *System) resetQuantumStats() {
 		L2HitLatency: uint64(s.cfg.L2Latency),
 		ATSScale:     float64(s.cfg.L2Sets()) / float64(sampledSets),
 		L2Ways:       s.cfg.L2Ways,
-		Apps:         make([]AppQuantum, n),
+		Apps:         apps,
 	}
 	for a := 0; a < n; a++ {
 		s.ats[a].ResetStats()

@@ -33,11 +33,14 @@ type Generator struct {
 	hotLines  uint64
 	nearLines uint64
 	nearFrac  float64
-	streamPos uint64 // line offset of the stream pointer
-	streamRun int    // lines left in the current stream run
-	runLen    int
-	dwell     int // stream accesses remaining on the current line
-	dwellLen  int
+	// Precomputed rng.BoolThreshold values for the per-instruction
+	// Bernoulli draws; same draws, same answers, no float math in Next.
+	memT, nearT, streamT, hotT, writeT, depT uint64
+	streamPos                                uint64 // line offset of the stream pointer
+	streamRun                                int    // lines left in the current stream run
+	runLen                                   int
+	dwell                                    int // stream accesses remaining on the current line
+	dwellLen                                 int
 
 	generated uint64
 }
@@ -95,6 +98,12 @@ func NewGenerator(spec Spec, slot int, seed uint64) *Generator {
 	if g.hotLines == 0 {
 		g.hotLines = 1
 	}
+	g.memT = rng.BoolThreshold(spec.MemFrac)
+	g.nearT = rng.BoolThreshold(nearFrac)
+	g.streamT = rng.BoolThreshold(spec.StreamFrac)
+	g.hotT = rng.BoolThreshold(spec.HotFrac)
+	g.writeT = rng.BoolThreshold(spec.WriteFrac)
+	g.depT = rng.BoolThreshold(spec.DepFrac)
 	g.streamPos = g.rnd.Uint64n(g.wssLines)
 	return g
 }
@@ -108,27 +117,27 @@ func (g *Generator) Generated() uint64 { return g.generated }
 // Next fills in the next instruction of the stream.
 func (g *Generator) Next(out *Instr) {
 	g.generated++
-	if !g.rnd.Bool(g.spec.MemFrac) {
+	if !g.rnd.BoolFast(g.memT) {
 		*out = Instr{}
 		return
 	}
 	var line uint64
 	far := false
-	if g.rnd.Bool(g.nearFrac) {
+	if g.rnd.BoolFast(g.nearT) {
 		line = g.rnd.Uint64n(g.nearLines)
-	} else if g.rnd.Bool(g.spec.StreamFrac) {
+	} else if g.rnd.BoolFast(g.streamT) {
 		line = g.nextStreamLine()
-	} else if g.rnd.Bool(g.spec.HotFrac) {
+	} else if g.rnd.BoolFast(g.hotT) {
 		line = g.rnd.Uint64n(g.hotLines)
 		far = true
 	} else {
 		line = g.rnd.Uint64n(g.wssLines)
 		far = true
 	}
-	write := g.rnd.Bool(g.spec.WriteFrac)
+	write := g.rnd.BoolFast(g.writeT)
 	// Only far (non-resident, non-stream) loads participate in dependence
 	// chains: pointer chasing happens on the heap, not on locals.
-	dep := far && !write && g.spec.DepFrac > 0 && g.rnd.Bool(g.spec.DepFrac)
+	dep := far && !write && g.spec.DepFrac > 0 && g.rnd.BoolFast(g.depT)
 	*out = Instr{
 		IsMem:         true,
 		Addr:          g.base + line*LineSize,
