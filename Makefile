@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json cover
+.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke cover
 
 # check is the CI gate: build + vet + tests, then the race detector over
-# the concurrency-heavy packages (sweep workers, cluster rounds, faults).
-check: build vet test race
+# the concurrency-heavy packages (sweep workers, cluster rounds, faults,
+# shared telemetry/trace sinks), then the observability smoke test.
+check: build vet test race trace-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -32,6 +33,17 @@ bench-smoke:
 # artifact (BENCH_sweep.json) for cross-run comparison.
 bench-json:
 	$(GO) test -run='^$$' -bench='SweepAccuracy' -benchmem -count=1 ./internal/exp/ | $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+
+# trace-smoke runs a small contended mix with event tracing enabled and
+# validates that the emitted file is well-formed Perfetto-loadable
+# chrome-trace JSON with attribution snapshots (tracesum -check), then
+# prints the summary tables. TRACE_OUT overrides where the trace lands
+# (CI uploads it as an artifact).
+TRACE_OUT ?= trace-smoke.trace.json
+trace-smoke:
+	$(GO) run ./cmd/asmsim -apps mcf,libquantum -quanta 2 -quantum 200000 -trace $(TRACE_OUT) -trace-sample 16
+	$(GO) run ./cmd/tracesum -check $(TRACE_OUT)
+	$(GO) run ./cmd/tracesum $(TRACE_OUT)
 
 # cover prints per-package statement coverage.
 cover:

@@ -35,6 +35,7 @@ import (
 
 	"asmsim/internal/cluster"
 	"asmsim/internal/core"
+	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
 	"asmsim/internal/faults"
 	"asmsim/internal/metrics"
@@ -100,6 +101,18 @@ type (
 	// alone simulation once (see RunOptions.SharedAloneCache and
 	// ExperimentScale.AloneCache).
 	AloneCurveCache = sim.AloneCurveCache
+	// Tracer streams cycle-level request spans and per-quantum
+	// interference attribution matrices as Perfetto-loadable
+	// chrome-trace-event JSON; nil disables tracing at zero cost.
+	Tracer = evtrace.Tracer
+	// TracerConfig parameterizes a Tracer (span sampling period).
+	TracerConfig = evtrace.Config
+	// QuantumAttribution is one quantum's N×N interference attribution
+	// snapshot (cycles app i delayed app j, split cache vs memory).
+	QuantumAttribution = evtrace.QuantumAttribution
+	// TraceSummary aggregates a trace's attribution series into run-level
+	// matrices and CPI stacks.
+	TraceSummary = evtrace.Summary
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -196,6 +209,17 @@ func OpenJSONLRecorder(path string) (QuantumRecorder, error) {
 // cache, safe for concurrent use across Runs and experiment sweeps.
 func NewAloneCurveCache() *AloneCurveCache { return sim.NewAloneCurveCache() }
 
+// NewTracer returns a tracer streaming chrome-trace JSON to w.
+func NewTracer(w io.Writer, cfg TracerConfig) *Tracer { return evtrace.New(w, cfg) }
+
+// OpenTracer creates path and streams the trace to it; Close terminates
+// the JSON document and reports the first write error.
+func OpenTracer(path string, cfg TracerConfig) (*Tracer, error) { return evtrace.Open(path, cfg) }
+
+// SummarizeTrace folds a per-quantum attribution series (Tracer.Quanta)
+// into one aggregate summary.
+func SummarizeTrace(quanta []QuantumAttribution) TraceSummary { return evtrace.Summarize(quanta) }
+
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
 
@@ -228,6 +252,11 @@ type RunOptions struct {
 	// run once. Reported slowdowns are bit-identical either way. nil
 	// (the default) keeps the private-replica behavior.
 	SharedAloneCache *AloneCurveCache
+	// Trace, when non-nil, records sampled request-lifecycle spans and
+	// exact per-quantum interference attribution matrices for the shared
+	// run (alone replicas are never traced). The caller owns the tracer
+	// and must Close it.
+	Trace *Tracer
 }
 
 // RunResult reports per-app outcomes of a Run.
@@ -286,6 +315,9 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 		opt.Attach(sys)
 	}
 	sys.SetTelemetry(opt.Telemetry.Metrics)
+	if opt.Trace != nil {
+		sys.SetTracer(opt.Trace)
+	}
 	var tracker *sim.SlowdownTracker
 	if opt.GroundTruth {
 		opt.SharedAloneCache.SetTelemetry(opt.Telemetry.Metrics.Scope("sim"))

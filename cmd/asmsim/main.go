@@ -42,6 +42,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		telDir      = flag.String("telemetry", "", "write quantum-level telemetry (quanta.jsonl + metrics.jsonl) to this directory")
 		telFormat   = flag.String("telemetry-format", "jsonl", "quantum time-series format: jsonl or csv")
+		tracePath   = flag.String("trace", "", "write a Perfetto-loadable chrome-trace JSON (request spans + attribution matrices) to this file")
+		traceSample = flag.Int("trace-sample", 64, "record every Nth demand-miss span in the trace (1 = all; attribution is always exact)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -102,6 +104,7 @@ func main() {
 	}
 	var tel asmsim.TelemetryOptions
 	var telReg *asmsim.TelemetryRegistry
+	var recorder telemetry.Recorder
 	if *telDir != "" {
 		if err := os.MkdirAll(*telDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -122,13 +125,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer func() {
-			if err := rec.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
-			}
-		}()
+		recorder = rec
 		telReg = asmsim.NewTelemetryRegistry()
 		tel = asmsim.TelemetryOptions{Metrics: telReg, Recorder: rec}
+	}
+	var tracer *asmsim.Tracer
+	if *tracePath != "" {
+		var err error
+		tracer, err = asmsim.OpenTracer(*tracePath, asmsim.TracerConfig{SampleEvery: *traceSample})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	res, err := asmsim.RunContext(ctx, cfg, names, asmsim.RunOptions{
@@ -137,15 +145,31 @@ func main() {
 		GroundTruth:  *groundTruth,
 		Estimators:   []asmsim.Estimator{asmsim.NewASM(), asmsim.NewFST(), asmsim.NewPTCA(), asmsim.NewMISE()},
 		Telemetry:    tel,
+		Trace:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Flush the observability outputs before reporting: a recorder or
+	// tracer that cannot write its data is a failed run (non-zero exit),
+	// not a footnote on stderr.
+	exitCode := 0
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			exitCode = 1
+		}
+	}
 	if telReg != nil {
 		if err := writeMetricsSnapshot(filepath.Join(*telDir, "metrics.jsonl"), telReg); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			exitCode = 1
 		}
+	}
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		exitCode = 1
 	}
 
 	fmt.Printf("%-12s %8s %8s %8s %8s %8s", "app", "IPC", "ASM", "FST", "PTCA", "MISE")
@@ -163,6 +187,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("\nmax slowdown %.2f, harmonic speedup %.3f\n", res.MaxSlowdown, res.HarmonicSpeedup)
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
 }
 
 // writeMetricsSnapshot dumps the registry's final state as JSONL.

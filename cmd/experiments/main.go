@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
 	"asmsim/internal/telemetry"
 )
@@ -52,6 +53,8 @@ func main() {
 		sharedAlone = flag.Bool("shared-alone", true, "share alone-run ground-truth curves across a sweep's workloads (disable to re-simulate each alone run)")
 		progress    = flag.Bool("progress", true, "report live sweep progress (done/total, ETA, losses) on stderr")
 		telDir      = flag.String("telemetry", "", "write quantum telemetry (<id>.quanta.jsonl per experiment + metrics.jsonl) to this directory")
+		traceDir    = flag.String("trace", "", "write a Perfetto-loadable chrome-trace JSON per experiment (<id>.trace.json) to this directory")
+		traceSample = flag.Int("trace-sample", 256, "record every Nth demand-miss span in traces (1 = all; attribution is always exact)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -125,9 +128,17 @@ func main() {
 		}
 		reg = telemetry.NewRegistry()
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	var tables []*exp.Table
 	partial := 0
+	// Observability sinks that fail to flush make the invocation fail:
+	// silently dropped telemetry or trace data must not exit zero.
+	obsFailed := false
 	for _, e := range exps {
 		scRun := sc
 		// Curves are shared within one experiment; dropping them between
@@ -144,6 +155,15 @@ func main() {
 			scRun.Telemetry.Recorder = rec
 			scRun.Telemetry.Metrics = reg
 		}
+		var tracer *evtrace.Tracer
+		if *traceDir != "" {
+			tracer, err = evtrace.Open(filepath.Join(*traceDir, e.ID+".trace.json"),
+				evtrace.Config{SampleEvery: *traceSample})
+			if err != nil {
+				fatal(err)
+			}
+			scRun.Trace = tracer
+		}
 		var prg *telemetry.Progress
 		if *progress {
 			prg = telemetry.NewProgress(os.Stderr, e.ID, 0)
@@ -155,7 +175,12 @@ func main() {
 		if rec != nil {
 			if cerr := rec.Close(); cerr != nil {
 				fmt.Fprintf(os.Stderr, "telemetry: %s: %v\n", e.ID, cerr)
+				obsFailed = true
 			}
+		}
+		if cerr := tracer.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", e.ID, cerr)
+			obsFailed = true
 		}
 		if err != nil {
 			// Emit what completed before dying so a long sweep's output
@@ -184,10 +209,14 @@ func main() {
 	if reg != nil {
 		if err := writeMetricsSnapshot(filepath.Join(*telDir, "metrics.jsonl"), reg); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			obsFailed = true
 		}
 	}
 	if partial > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d experiment(s) completed only partially\n", partial, len(exps))
+		os.Exit(1)
+	}
+	if obsFailed {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,269 @@
+// Command tracesum summarizes an asmsim event trace: it folds the trace's
+// per-quantum interference attribution snapshots into run-level N×N
+// attribution matrices (cycles app i delayed app j, split shared-cache vs
+// main-memory) and per-app CPI stacks, and optionally validates that the
+// file is well-formed Perfetto-loadable chrome-trace JSON.
+//
+// Usage:
+//
+//	asmsim -apps mcf,libquantum,bzip2,h264ref -trace /tmp/run.trace.json
+//	tracesum /tmp/run.trace.json
+//	tracesum -check /tmp/run.trace.json       # schema validation only
+//	tracesum -format csv /tmp/run.trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"asmsim/internal/evtrace"
+	"asmsim/internal/exp"
+)
+
+func main() {
+	var (
+		check    = flag.Bool("check", false, "validate the chrome-trace schema and exit (no tables)")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		perQuant = flag.Bool("quanta", false, "also print one interference row per quantum")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracesum [-check] [-format text|csv|json] <trace.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	tf, events, err := loadTrace(path)
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := validate(tf, events); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: OK — %d events, %d attribution quanta\n",
+			path, len(events), countAttribution(events))
+		return
+	}
+
+	quanta := attributionSeries(events)
+	if len(quanta) == 0 {
+		fatal(fmt.Errorf("%s: no attribution events (was the run traced?)", path))
+	}
+	sum := evtrace.Summarize(quanta)
+
+	tables := []*exp.Table{
+		matrixTable("trace-mem", "Memory interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Mem, sum.MemRowTotals),
+		matrixTable("trace-cache", "Shared-cache interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Cache, nil),
+		cpiTable(sum),
+	}
+	if *perQuant {
+		tables = append(tables, quantaTable(quanta))
+	}
+	for i, t := range tables {
+		out, err := render(t, *format)
+		if err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(out)
+	}
+}
+
+// traceFile is the chrome-trace JSON object format envelope.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// traceEvent is the subset of chrome-trace event fields tracesum reads.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func loadTrace(path string) (*traceFile, []traceEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, nil, fmt.Errorf("%s: not valid chrome-trace JSON: %w", path, err)
+	}
+	return &tf, tf.TraceEvents, nil
+}
+
+// validate checks the invariants Perfetto's JSON importer relies on:
+// every event names itself, uses a known phase, and carries coherent
+// non-negative timestamps and durations.
+func validate(tf *traceFile, events []traceEvent) error {
+	if tf.DisplayTimeUnit != "" && tf.DisplayTimeUnit != "ms" && tf.DisplayTimeUnit != "ns" {
+		return fmt.Errorf("displayTimeUnit %q (want ms or ns)", tf.DisplayTimeUnit)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty traceEvents array")
+	}
+	phases := map[string]bool{"X": true, "M": true, "i": true, "I": true, "C": true, "B": true, "E": true}
+	for i, e := range events {
+		if e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if !phases[e.Ph] {
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ph != "M" {
+			if e.Ts == nil {
+				return fmt.Errorf("event %d (%s): missing ts", i, e.Name)
+			}
+			if *e.Ts < 0 {
+				return fmt.Errorf("event %d (%s): negative ts %v", i, e.Name, *e.Ts)
+			}
+		}
+		if e.Ph == "X" && e.Dur != nil && *e.Dur < 0 {
+			return fmt.Errorf("event %d (%s): negative dur %v", i, e.Name, *e.Dur)
+		}
+		if e.Pid == nil && e.Ph != "M" {
+			return fmt.Errorf("event %d (%s): missing pid", i, e.Name)
+		}
+	}
+	if countAttribution(events) == 0 {
+		return fmt.Errorf("no attribution events")
+	}
+	return nil
+}
+
+func countAttribution(events []traceEvent) int {
+	n := 0
+	for _, e := range events {
+		if e.Name == "attribution" && e.Ph == "i" {
+			n++
+		}
+	}
+	return n
+}
+
+// attributionSeries extracts the per-quantum attribution snapshots.
+func attributionSeries(events []traceEvent) []evtrace.QuantumAttribution {
+	var out []evtrace.QuantumAttribution
+	for _, e := range events {
+		if e.Name != "attribution" || e.Ph != "i" || e.Args == nil {
+			continue
+		}
+		var args struct {
+			Attribution evtrace.QuantumAttribution `json:"attribution"`
+		}
+		if err := json.Unmarshal(e.Args, &args); err != nil {
+			continue
+		}
+		out = append(out, args.Attribution)
+	}
+	return out
+}
+
+// matrixTable renders a victim-major attribution matrix: one row per
+// victim app, one column per cause (apps, then the system pseudo-cause),
+// plus the row total when provided.
+func matrixTable(id, title string, apps []string, m [][]float64, rowTotals []float64) *exp.Table {
+	t := &exp.Table{ID: id, Title: title}
+	t.Header = append(t.Header, "victim \\ cause")
+	for _, a := range apps {
+		t.Header = append(t.Header, a)
+	}
+	t.Header = append(t.Header, "system")
+	if rowTotals != nil {
+		t.Header = append(t.Header, "total")
+	}
+	for j, a := range apps {
+		cells := []string{a}
+		if j < len(m) {
+			for _, v := range m[j] {
+				cells = append(cells, fmt.Sprintf("%.3f", v/1e6))
+			}
+		}
+		for len(cells) < len(apps)+2 {
+			cells = append(cells, "0.000")
+		}
+		if rowTotals != nil {
+			v := 0.0
+			if j < len(rowTotals) {
+				v = rowTotals[j]
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", v/1e6))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("entry (j, i): million cycles cause i's occupancy delayed victim j")
+	return t
+}
+
+// cpiTable renders the per-app CPI stacks.
+func cpiTable(sum evtrace.Summary) *exp.Table {
+	t := &exp.Table{
+		ID:     "trace-cpi",
+		Title:  "CPI stacks over the traced window",
+		Header: []string{"app", "CPI", "compute%", "mem-alone%", "cache-interf%", "mem-interf%"},
+	}
+	for _, cs := range sum.CPIStacks() {
+		t.AddRow(cs.Name,
+			fmt.Sprintf("%.3f", cs.CPI),
+			fmt.Sprintf("%.1f", 100*cs.Compute),
+			fmt.Sprintf("%.1f", 100*cs.MemAlone),
+			fmt.Sprintf("%.1f", 100*cs.CacheInterf),
+			fmt.Sprintf("%.1f", 100*cs.MemInterf))
+	}
+	t.AddNote("%d quanta, %d cycles per app; interference components clamped into measured memory-stall time", sum.Quanta, sum.Cycles)
+	return t
+}
+
+// quantaTable renders one row per (quantum, victim) with interference
+// totals, for spotting phase changes over time.
+func quantaTable(quanta []evtrace.QuantumAttribution) *exp.Table {
+	t := &exp.Table{
+		ID:     "trace-quanta",
+		Title:  "Per-quantum interference (Mcycles)",
+		Header: []string{"quantum", "app", "mem", "cache"},
+	}
+	for _, q := range quanta {
+		for j, a := range q.Apps {
+			var mem, cache float64
+			if j < len(q.MemRowTotals) {
+				mem = q.MemRowTotals[j]
+			}
+			if j < len(q.Cache) {
+				for _, v := range q.Cache[j] {
+					cache += v
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", q.Quantum), a,
+				fmt.Sprintf("%.3f", mem/1e6), fmt.Sprintf("%.3f", cache/1e6))
+		}
+	}
+	return t
+}
+
+func render(t *exp.Table, format string) (string, error) {
+	switch format {
+	case "text":
+		return t.String(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "json":
+		return t.JSON()
+	}
+	return "", fmt.Errorf("unknown format %q (want text, csv or json)", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

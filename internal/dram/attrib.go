@@ -1,0 +1,95 @@
+package dram
+
+// Attribution accumulates one controller's per-cause interference
+// accounting for the event-tracing layer: for every interference cycle
+// the controller charges (bank occupancy, data-bus occupancy, command
+// slot, row-buffer disturbance) it also records which application caused
+// the wait.
+//
+// Two views are kept. Raw is the exact integer ledger — unscaled CPU
+// cycles of other-app occupancy per (victim, cause) pair, where cause
+// index NumApps is the system/refresh pseudo-cause. RowCycles is the
+// parallelism-scaled per-victim total, accumulated with the identical
+// floating-point operations as Controller.InterferenceCycles, so the two
+// are bit-equal at every instant. Consumers scale Raw rows to RowCycles
+// (evtrace.ScaleRows) to present a matrix whose rows decompose the
+// controller's accounting exactly.
+//
+// Attribution is enabled per controller via SetAttribution and costs
+// nothing when absent (one nil check on the interference path).
+type Attribution struct {
+	numApps int
+	stride  int // numApps + 1 (system column)
+	// raw[j*stride+i]: unscaled interference cycles cause i inflicted on
+	// victim j since the last Reset.
+	raw []uint64
+	// rowCycles[j]: parallelism-scaled interference for victim j,
+	// bit-equal to the owning controller's interfCycles[j].
+	rowCycles []float64
+}
+
+// NewAttribution returns an empty ledger for numApps applications.
+func NewAttribution(numApps int) *Attribution {
+	return &Attribution{
+		numApps:   numApps,
+		stride:    numApps + 1,
+		raw:       make([]uint64, numApps*(numApps+1)),
+		rowCycles: make([]float64, numApps),
+	}
+}
+
+// NumApps returns the application count the ledger was built for.
+func (a *Attribution) NumApps() int { return a.numApps }
+
+// add charges cycles of cause's occupancy against victim. A negative
+// cause (refresh windows) is folded into the system column.
+func (a *Attribution) add(victim, cause int, cycles uint64) {
+	if cause < 0 || cause >= a.numApps {
+		cause = a.numApps
+	}
+	a.raw[victim*a.stride+cause] += cycles
+}
+
+// addScaled accumulates the parallelism-scaled contribution for victim.
+// Callers pass the exact value they add to the controller's
+// interfCycles, keeping the two accountings bit-equal.
+func (a *Attribution) addScaled(victim int, v float64) {
+	a.rowCycles[victim] += v
+}
+
+// Raw returns the integer ledger as a victim-major matrix: row j has
+// numApps+1 columns (the last is the system/refresh pseudo-cause). The
+// rows alias freshly allocated storage and are safe to retain.
+func (a *Attribution) Raw() [][]uint64 {
+	out := make([][]uint64, a.numApps)
+	for j := 0; j < a.numApps; j++ {
+		out[j] = append([]uint64(nil), a.raw[j*a.stride:(j+1)*a.stride]...)
+	}
+	return out
+}
+
+// AddRawInto accumulates the integer ledger into dst (victim-major,
+// rows of at least numApps+1 columns), for cross-channel merging without
+// per-quantum allocation churn.
+func (a *Attribution) AddRawInto(dst [][]uint64) {
+	for j := 0; j < a.numApps && j < len(dst); j++ {
+		row := a.raw[j*a.stride : (j+1)*a.stride]
+		for i, v := range row {
+			if i < len(dst[j]) {
+				dst[j][i] += v
+			}
+		}
+	}
+}
+
+// RowCycles returns victim's parallelism-scaled interference total since
+// the last Reset — bit-equal to the owning controller's
+// InterferenceCycles(victim).
+func (a *Attribution) RowCycles(victim int) float64 { return a.rowCycles[victim] }
+
+// Reset clears the ledger (called with the controller's per-quantum
+// stats reset).
+func (a *Attribution) Reset() {
+	clear(a.raw)
+	clear(a.rowCycles)
+}

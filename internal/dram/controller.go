@@ -63,6 +63,11 @@ type Controller struct {
 	totalTicks uint64
 	refreshes  uint64
 
+	// attrib, when non-nil, additionally records every interference
+	// charge's cause app (the event-tracing attribution ledger). The
+	// disabled path costs one nil check per charge.
+	attrib *Attribution
+
 	// refreshCountdown counts DRAM ticks down to the next refresh; zero
 	// means refresh is disabled. Replaces a per-tick modulo on TREFI.
 	refreshCountdown uint64
@@ -106,6 +111,15 @@ func NewController(t Timing, g Geometry, channel, numApps int, policy Scheduler)
 
 // Policy returns the controller's scheduling policy.
 func (c *Controller) Policy() Scheduler { return c.policy }
+
+// SetAttribution installs (or, with nil, removes) the per-cause
+// interference ledger. Its parallelism-scaled row totals accumulate with
+// the identical operations as InterferenceCycles, so enabling
+// attribution never changes any reported accounting.
+func (c *Controller) SetAttribution(a *Attribution) { c.attrib = a }
+
+// Attribution returns the installed ledger, or nil.
+func (c *Controller) Attribution() *Attribution { return c.attrib }
 
 // SetPriorityApp installs the epoch highest-priority application (-1 for
 // none). While set, that app's requests are serviced before all others.
@@ -321,12 +335,30 @@ func (c *Controller) issue(r *Request, now uint64) {
 	// Row-buffer disturbance: the access misses the row buffer now, but
 	// targets the row this app itself opened last in this bank — alone it
 	// would have been a row hit. Charge the activate/precharge overhead
-	// as interference (per-request and parallelism-scaled per-app).
+	// as interference (per-request and parallelism-scaled per-app). The
+	// cause is the bank's previous occupant, whose access (or a refresh
+	// window, occupant -1) displaced the row.
 	if !r.Write && !r.RowHit && b.lastRow[r.App] == int64(r.row) {
 		penalty := uint64(cmdLat-c.timing.TCL) * ratio
 		r.addInterference(penalty)
 		par := c.outstanding[r.App] + 1 // +1: this request
-		c.interfCycles[r.App] += float64(penalty) / float64(par)
+		contrib := float64(penalty) / float64(par)
+		c.interfCycles[r.App] += contrib
+		if c.attrib != nil {
+			cause := b.occupant
+			if cause == r.App {
+				cause = -1 // self cannot interfere; fold into system
+			}
+			c.attrib.add(r.App, cause, penalty)
+			c.attrib.addScaled(r.App, contrib)
+		}
+		if r.Causes != nil {
+			ci := b.occupant
+			if ci < 0 || ci >= len(r.Causes)-1 || ci == r.App {
+				ci = len(r.Causes) - 1
+			}
+			r.Causes[ci] += penalty
+		}
 	}
 	b.lastRow[r.App] = int64(r.row)
 
@@ -390,13 +422,33 @@ func (c *Controller) account(now uint64) {
 		// Bus and command-slot contention only apply when the request was
 		// otherwise schedulable (its bank free); a request stuck behind
 		// its own bank's work is not being interfered with this tick.
-		interfered := (bankBusy && b.occupant != r.App) ||
-			(!bankBusy && busBusyOther && c.busApp != r.App) ||
-			(!bankBusy && cmdSlotTaken && c.lastCmdApp != r.App)
-		if interfered {
+		// Every interfered tick has one deterministic cause, resolved in
+		// fixed priority (bank occupant, then bus owner, then command
+		// slot); -2 means not interfered, -1 the system (refresh).
+		cause := -2
+		if bankBusy {
+			if b.occupant != r.App {
+				cause = b.occupant
+			}
+		} else if busBusyOther && c.busApp != r.App {
+			cause = c.busApp
+		} else if cmdSlotTaken && c.lastCmdApp != r.App {
+			cause = c.lastCmdApp
+		}
+		if cause != -2 {
 			r.addInterference(ratio)
 			if r.App < len(blocked) {
 				blocked[r.App]++
+			}
+			if c.attrib != nil {
+				c.attrib.add(r.App, cause, ratio)
+			}
+			if r.Causes != nil {
+				ci := cause
+				if ci < 0 || ci >= len(r.Causes)-1 {
+					ci = len(r.Causes) - 1
+				}
+				r.Causes[ci] += ratio
 			}
 		}
 	}
@@ -406,7 +458,11 @@ func (c *Controller) account(now uint64) {
 			if par < n {
 				par = n
 			}
-			c.interfCycles[app] += float64(ratio) * float64(n) / float64(par)
+			contrib := float64(ratio) * float64(n) / float64(par)
+			c.interfCycles[app] += contrib
+			if c.attrib != nil {
+				c.attrib.addScaled(app, contrib)
+			}
 		}
 	}
 
@@ -472,7 +528,8 @@ func (c *Controller) ResetWindowStats() {
 	}
 }
 
-// ResetQuantumStats clears the per-quantum accounting counters.
+// ResetQuantumStats clears the per-quantum accounting counters (and the
+// attribution ledger, which shares their lifecycle).
 func (c *Controller) ResetQuantumStats() {
 	for i := 0; i < c.numApps; i++ {
 		c.queueingCycles[i] = 0
@@ -480,5 +537,8 @@ func (c *Controller) ResetQuantumStats() {
 		c.readsDone[i] = 0
 		c.latencySum[i] = 0
 		c.rowHits[i] = 0
+	}
+	if c.attrib != nil {
+		c.attrib.Reset()
 	}
 }

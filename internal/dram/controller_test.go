@@ -320,6 +320,32 @@ func TestResetQuantumStats(t *testing.T) {
 	}
 }
 
+func TestRequestTimestampMonotonic(t *testing.T) {
+	s := testSystem(2)
+	g := s.Geometry()
+	stride := uint64(g.LinesPerRow * g.Channels * g.BanksPerChan)
+	checked := 0
+	check := func(r *Request, now uint64) {
+		checked++
+		if r.Start < r.Enqueue || r.Complete < r.Start || now < r.Complete {
+			t.Errorf("non-monotonic timestamps: enqueue %d start %d complete %d done %d (app %d line %#x)",
+				r.Enqueue, r.Start, r.Complete, now, r.App, r.LineAddr)
+		}
+		if r.QueueLatency() != r.Start-r.Enqueue || r.TotalLatency() != r.Complete-r.Enqueue {
+			t.Errorf("latency getters disagree with timestamps: queue %d total %d", r.QueueLatency(), r.TotalLatency())
+		}
+	}
+	// Mix row hits, conflicts and cross-app contention so requests wait in
+	// every queueing regime the controller models.
+	for i := 0; i < 8; i++ {
+		s.Enqueue(&Request{App: i % 2, LineAddr: uint64(i) * stride, Done: check}, uint64(i))
+	}
+	runTicks(s, 0, 40000)
+	if checked != 8 {
+		t.Fatalf("only %d of 8 requests completed", checked)
+	}
+}
+
 func TestRefreshBlocksBanks(t *testing.T) {
 	tm := DDR31333WithRefresh()
 	if !tm.RefreshEnabled() || DDR31333().RefreshEnabled() {

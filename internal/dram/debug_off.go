@@ -1,0 +1,9 @@
+//go:build !asmdebug
+
+package dram
+
+// debugChecks gates invariant assertions that are fatal rather than
+// recoverable (e.g. non-monotonic request timestamps). Release builds
+// compile the checks away entirely; build with -tags asmdebug to turn
+// violations into panics.
+const debugChecks = false

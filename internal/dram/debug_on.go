@@ -1,0 +1,8 @@
+//go:build asmdebug
+
+package dram
+
+// debugChecks is enabled by the asmdebug build tag: invariant violations
+// (non-monotonic request timestamps and the like) panic instead of being
+// silently clamped.
+const debugChecks = true

@@ -1,5 +1,7 @@
 package dram
 
+import "fmt"
+
 // Request is one memory transaction (a last-level-cache miss fill or a
 // dirty writeback).
 type Request struct {
@@ -21,6 +23,13 @@ type Request struct {
 	// (and Figure 6) consume.
 	InterfCycles uint64
 
+	// Causes, when non-nil, splits InterfCycles by cause application:
+	// Causes[i] is the cycles app i's occupancy cost this request, and the
+	// final slot (index len-1) is the system/refresh pseudo-cause. The
+	// tracer allocates it (numApps+1 long) only for sampled requests, so
+	// the common path stays allocation-free.
+	Causes []uint64
+
 	// Done is invoked at completion with the request and the CPU cycle.
 	// It is nil for posted writes.
 	Done func(*Request, uint64)
@@ -41,16 +50,28 @@ func (r *Request) Row() uint64 { return r.row }
 func (r *Request) addInterference(cycles uint64) { r.InterfCycles += cycles }
 
 // QueueLatency returns the CPU cycles the request waited before service.
+// Start < Enqueue is an accounting bug, not a valid state: debug builds
+// (-tags asmdebug) panic on it; release builds clamp to zero.
 func (r *Request) QueueLatency() uint64 {
 	if r.Start < r.Enqueue {
+		if debugChecks {
+			panic(fmt.Sprintf("dram: non-monotonic request timestamps: Start %d < Enqueue %d (app %d line %#x)",
+				r.Start, r.Enqueue, r.App, r.LineAddr))
+		}
 		return 0
 	}
 	return r.Start - r.Enqueue
 }
 
-// TotalLatency returns the CPU cycles from enqueue to completion.
+// TotalLatency returns the CPU cycles from enqueue to completion. As with
+// QueueLatency, a backwards pair of timestamps panics under -tags
+// asmdebug and clamps to zero otherwise.
 func (r *Request) TotalLatency() uint64 {
 	if r.Complete < r.Enqueue {
+		if debugChecks {
+			panic(fmt.Sprintf("dram: non-monotonic request timestamps: Complete %d < Enqueue %d (app %d line %#x)",
+				r.Complete, r.Enqueue, r.App, r.LineAddr))
+		}
 		return 0
 	}
 	return r.Complete - r.Enqueue

@@ -100,6 +100,20 @@ func (s *System) OutstandingReads(app int) int {
 	return n
 }
 
+// EnableAttribution installs a fresh per-cause interference ledger on
+// every channel and returns the ledgers in channel order — the same
+// order InterferenceCycles sums the per-channel floats, so a consumer
+// that merges row totals in this order stays bit-equal to it.
+func (s *System) EnableAttribution() []*Attribution {
+	out := make([]*Attribution, len(s.channels))
+	for i, c := range s.channels {
+		a := NewAttribution(s.numApps)
+		c.SetAttribution(a)
+		out[i] = a
+	}
+	return out
+}
+
 // ResetQuantumStats clears per-quantum accounting on every channel.
 func (s *System) ResetQuantumStats() {
 	for _, c := range s.channels {

@@ -96,6 +96,9 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		return nil, err
 	}
 	sys.SetTelemetry(sc.Telemetry.Metrics)
+	if sc.Trace != nil {
+		sys.SetTracer(sc.Trace)
+	}
 	sc.AloneCache.SetTelemetry(sc.Telemetry.Metrics.Scope("sim"))
 	tracker, err := sim.NewSlowdownTrackerShared(cfg, specs, sc.AloneCache)
 	if err != nil {
@@ -244,6 +247,9 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 		return PolicyOutcome{}, err
 	}
 	sys.SetTelemetry(sc.Telemetry.Metrics)
+	if sc.Trace != nil {
+		sys.SetTracer(sc.Trace)
+	}
 	if scheme.Attach != nil {
 		scheme.Attach(sys)
 	}

@@ -3,6 +3,7 @@ package exp
 import (
 	"time"
 
+	"asmsim/internal/evtrace"
 	"asmsim/internal/faults"
 	"asmsim/internal/sim"
 	"asmsim/internal/telemetry"
@@ -46,6 +47,12 @@ type Scale struct {
 	// sharing and re-simulates per run, the pre-cache behavior. Quick()
 	// and Full() populate it.
 	AloneCache *sim.AloneCurveCache
+	// Trace, when non-nil, records sampled request spans and per-quantum
+	// interference attribution matrices for every shared run of the sweep
+	// (alone replicas are never traced). Sweep workers share the tracer;
+	// the caller owns it and must Close it. nil (the default) disables
+	// tracing at zero cost.
+	Trace *evtrace.Tracer
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`

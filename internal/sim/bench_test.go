@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"io"
 	"testing"
 
+	"asmsim/internal/evtrace"
 	"asmsim/internal/workload"
 )
 
@@ -51,6 +53,32 @@ func BenchmarkSystemTickPrefetch(b *testing.B) {
 // disabled-path overhead (<2% regression allowed).
 func BenchmarkRunQuanta(b *testing.B) {
 	sys := benchSystem(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RunQuanta(1)
+	}
+	b.ReportMetric(float64(sys.Config().Quantum), "cycles/op")
+}
+
+// BenchmarkRunQuantaTraceDisabled is the tracing disabled-path guard: a
+// system that never had SetTracer called must run the quantum loop with
+// zero tracing allocations (the nil checks are the entire cost).
+func BenchmarkRunQuantaTraceDisabled(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RunQuanta(1)
+	}
+	b.ReportMetric(float64(sys.Config().Quantum), "cycles/op")
+}
+
+// BenchmarkRunQuantaTraced measures the cost of full event tracing
+// (sampled spans + exact attribution) against BenchmarkRunQuantaTraceDisabled.
+func BenchmarkRunQuantaTraced(b *testing.B) {
+	sys := benchSystem(b, false)
+	sys.SetTracer(evtrace.New(io.Discard, evtrace.Config{SampleEvery: 64}))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.RunQuanta(1)

@@ -7,6 +7,7 @@ import (
 	"asmsim/internal/cache"
 	"asmsim/internal/cpu"
 	"asmsim/internal/dram"
+	"asmsim/internal/evtrace"
 	"asmsim/internal/prefetch"
 	"asmsim/internal/rng"
 	"asmsim/internal/telemetry"
@@ -27,6 +28,7 @@ type missTxn struct {
 	atsCont  bool   // auxiliary tag store classified it a contention miss
 	sampled  bool   // mapped to a sampled ATS set
 	prefetch bool
+	traced   bool // the tracer sampled this miss's lifecycle span
 	req      dram.Request
 }
 
@@ -135,6 +137,16 @@ type System struct {
 
 	listeners    []QuantumListener
 	missListener MissListener
+
+	// Event tracing (all nil/zero when disabled). The hot per-cycle loop
+	// is untouched: tracing costs one nil check per demand miss, two per
+	// L2 insert, and the attribution merge at quantum boundaries.
+	tracer      *evtrace.Tracer
+	tracerNames []string
+	memAttribs  []*dram.Attribution // per-channel ledgers, channel order
+	memRaw      [][]uint64          // reused quantum merge buffer (victim-major)
+	cacheAttrib [][]float64         // cache interference matrix this quantum
+	evictors    map[uint64]int      // line -> app whose L2 insert evicted it
 
 	totalEpochs uint64
 
@@ -306,6 +318,31 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	s.telQuantumWall = sc.Timer("quantum_wall")
 	if s.telQuantumWall != nil {
 		s.quantumStart = time.Now()
+	}
+}
+
+// SetTracer wires the event-tracing subsystem in: per-channel
+// interference attribution ledgers at the memory controllers, the
+// cache-side evictor ledger, sampled miss-lifecycle spans, and the
+// per-quantum attribution matrix emission. A nil tracer (the default)
+// leaves every path untouched and allocation-free. Call before Run.
+func (s *System) SetTracer(t *evtrace.Tracer) {
+	s.tracer = t
+	if t == nil {
+		return
+	}
+	t.BeginRun(s.Names())
+	s.tracerNames = s.Names()
+	if s.memAttribs == nil {
+		s.memAttribs = s.mem.EnableAttribution()
+		n := s.ncores
+		s.memRaw = make([][]uint64, n)
+		s.cacheAttrib = make([][]float64, n)
+		for j := 0; j < n; j++ {
+			s.memRaw[j] = make([]uint64, n+1)
+			s.cacheAttrib[j] = make([]float64, n+1)
+		}
+		s.evictors = make(map[uint64]int)
 	}
 }
 
@@ -533,6 +570,9 @@ func (s *System) accessL2(app int, line uint64, storeMiss bool, now uint64) {
 	if sampled {
 		aq.SampledDemandMisses++
 	}
+	if s.tracer != nil && s.tracer.SampleMiss() {
+		txn.traced = true
+	}
 	s.outMiss[app]++
 	s.sendMiss(txn, now)
 }
@@ -547,6 +587,11 @@ func (s *System) sendMiss(txn *missTxn, now uint64) {
 		Done: func(r *dram.Request, done uint64) {
 			s.missDone(txn, done)
 		},
+	}
+	if txn.traced {
+		// Per-cause interference breakdown, only for sampled spans so the
+		// common path stays allocation-free.
+		txn.req.Causes = make([]uint64, s.ncores+1)
 	}
 	if !s.mem.Enqueue(&txn.req, now) {
 		s.retryQ = append(s.retryQ, txn)
@@ -596,6 +641,7 @@ func (s *System) missDone(txn *missTxn, now uint64) {
 	// separately by the per-request memory interference counters, so
 	// charging raw latency here would double-count.
 	aloneLat := float64(latency) - float64(txn.req.InterfCycles)
+	cacheExtra := 0.0
 	if extra := aloneLat - float64(s.cfg.L2Latency); extra > 0 {
 		if txn.pfCont {
 			aq.PFContentionMisses++
@@ -604,7 +650,11 @@ func (s *System) missDone(txn *missTxn, now uint64) {
 		if txn.atsCont {
 			aq.ATSContentionMisses++
 			aq.ATSContentionExtra += extra
+			cacheExtra = extra
 		}
+	}
+	if s.tracer != nil {
+		s.traceMiss(txn, now, cacheExtra)
 	}
 	if s.missListener != nil {
 		s.missListener(MissEvent{
@@ -620,6 +670,97 @@ func (s *System) missDone(txn *missTxn, now uint64) {
 	s.insertL2(app, txn.line, false, now)
 	s.outMiss[app]--
 	s.fillL1(app, txn.line, now)
+}
+
+// traceMiss feeds one completed demand miss to the tracer: charges its
+// shared-cache interference (if any) to the app that evicted the line,
+// and emits the lifecycle span when the miss was sampled.
+func (s *System) traceMiss(txn *missTxn, now uint64, cacheExtra float64) {
+	cause := -1
+	if c, ok := s.evictors[txn.line]; ok {
+		cause = c
+	}
+	if cacheExtra > 0 {
+		ci := cause
+		if ci < 0 || ci >= s.ncores {
+			ci = s.ncores // unknown evictor: system column
+		}
+		s.cacheAttrib[txn.app][ci] += cacheExtra
+	}
+	if !txn.traced {
+		return
+	}
+	ch, bank, _ := s.mem.Geometry().Map(txn.line)
+	s.tracer.MissSpan(evtrace.MissSpan{
+		App:          txn.app,
+		Line:         txn.line,
+		Detect:       txn.start,
+		Enqueue:      txn.req.Enqueue,
+		Start:        txn.req.Start,
+		Complete:     txn.req.Complete,
+		Done:         now,
+		Channel:      ch,
+		Bank:         bank,
+		RowHit:       txn.req.RowHit,
+		InterfCycles: txn.req.InterfCycles,
+		Causes:       txn.req.Causes,
+		CacheCause:   cause,
+	})
+}
+
+// emitQuantumTrace merges the per-channel attribution ledgers into the
+// quantum's interference matrices and hands the snapshot to the tracer.
+// The integer ledgers merge exactly; the float row totals are summed in
+// channel order — the same order dram.System.InterferenceCycles uses —
+// so MemRowTotals[j] is bit-equal to the controller-side accounting.
+func (s *System) emitQuantumTrace(now uint64) {
+	n := s.ncores
+	for j := range s.memRaw {
+		clear(s.memRaw[j])
+	}
+	for _, a := range s.memAttribs {
+		a.AddRawInto(s.memRaw)
+	}
+	rowTotals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var tot float64
+		for _, a := range s.memAttribs {
+			tot += a.RowCycles(j)
+		}
+		rowTotals[j] = tot
+	}
+	mem := evtrace.ScaleRows(s.memRaw, rowTotals)
+	cache := make([][]float64, n)
+	stats := make([]evtrace.AppQuantumStats, n)
+	for j := 0; j < n; j++ {
+		cache[j] = append([]float64(nil), s.cacheAttrib[j]...)
+		var cacheTot float64
+		for _, v := range cache[j] {
+			cacheTot += v
+		}
+		aq := &s.qs.Apps[j]
+		stats[j] = evtrace.AppQuantumStats{
+			Name:            s.tracerNames[j],
+			Retired:         aq.Retired,
+			MemStallCycles:  aq.MemStallCycles,
+			QuantumHitTime:  aq.QuantumHitTime,
+			QuantumMissTime: aq.QuantumMissTime,
+			QueueingCycles:  aq.QueueingCycles,
+			MemInterf:       rowTotals[j],
+			CacheInterf:     cacheTot,
+		}
+		clear(s.cacheAttrib[j])
+	}
+	s.tracer.Quantum(evtrace.QuantumAttribution{
+		Quantum:      s.quantum,
+		EndCycle:     now + 1,
+		Cycles:       s.cfg.Quantum,
+		Apps:         s.tracerNames,
+		Mem:          mem,
+		MemRowTotals: rowTotals,
+		Cache:        cache,
+		AppStats:     stats,
+	})
 }
 
 // completeL2Hit finishes an L2 hit transaction.
@@ -654,6 +795,9 @@ func (s *System) fillL1(app int, line uint64, now uint64) {
 // insertL2 installs a line in the shared cache, updating pollution filters
 // for cross-app evictions and writing back dirty victims.
 func (s *System) insertL2(app int, line uint64, dirty bool, now uint64) {
+	if s.evictors != nil {
+		delete(s.evictors, line) // the line is resident again
+	}
 	v := s.l2.Insert(app, line, dirty)
 	if !v.Valid {
 		return
@@ -662,6 +806,11 @@ func (s *System) insertL2(app int, line uint64, dirty bool, now uint64) {
 		// FST's pollution filter: the victim's owner lost this line to
 		// another application.
 		s.pf[v.App].Add(v.LineAddr)
+		if s.evictors != nil {
+			// Cache-side attribution: remember who displaced the line so a
+			// later contention miss on it can name its cause app.
+			s.evictors[v.LineAddr] = app
+		}
 	}
 	delete(s.pfLines, v.LineAddr)
 	if v.Dirty {
@@ -741,6 +890,13 @@ func (s *System) endQuantum(now uint64) {
 		aq.ATSHitsAtWay = s.ats[a].PositionHits()
 	}
 	s.qs.Quantum = s.quantum
+
+	// Event tracing: merge the attribution ledgers before anything resets
+	// them (listeners run after, so tests can compare the emitted matrix
+	// against the live controller counters).
+	if s.tracer != nil {
+		s.emitQuantumTrace(now)
+	}
 
 	// Telemetry: quantum-boundary counters and structure-depth gauges
 	// (no-ops until SetTelemetry wires a registry).

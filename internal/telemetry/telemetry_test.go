@@ -331,3 +331,149 @@ func mustRead(t *testing.T, path string) []byte {
 	}
 	return data
 }
+
+func TestCSVRecorderAlignmentAcrossEstimatorSets(t *testing.T) {
+	// The column set is fixed at construction; records whose estimate maps
+	// are missing estimators, carry extras, or are nil entirely must still
+	// produce rows aligned with the header.
+	var buf bytes.Buffer
+	rec := NewCSVRecorder(&buf, []string{"FST", "ASM", "PTCA"}) // sorted to ASM,FST,PTCA
+
+	full := sampleRecord()
+	full.Estimates = map[string]float64{"ASM": 2.1, "FST": 2.9, "PTCA": 1.7}
+	missing := sampleRecord()
+	missing.Estimates = map[string]float64{"ASM": 1.1} // FST, PTCA absent
+	extra := sampleRecord()
+	extra.Estimates = map[string]float64{"ASM": 3.0, "FST": 3.1, "PTCA": 3.2, "MISE": 9.9}
+	none := sampleRecord()
+	none.Estimates = nil
+
+	for _, r := range []*QuantumRecord{full, missing, extra, none} {
+		rec.Record(r)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want header+4", len(rows))
+	}
+	head := rows[0]
+	idx := map[string]int{}
+	for i, h := range head {
+		idx[h] = i
+	}
+	if _, ok := idx["MISE"]; ok {
+		t.Fatal("estimator outside the constructed set leaked into the header")
+	}
+	for n, row := range rows[1:] {
+		if len(row) != len(head) {
+			t.Fatalf("row %d has %d cols, header has %d", n, len(row), len(head))
+		}
+	}
+	if got := rows[2][idx["FST"]]; got != "0" {
+		t.Fatalf("missing estimator rendered %q, want 0", got)
+	}
+	if got := rows[3][idx["PTCA"]]; got != "3.2" {
+		t.Fatalf("PTCA = %q", got)
+	}
+	if got := rows[4][idx["ASM"]]; got != "0" {
+		t.Fatalf("nil estimate map rendered %q, want 0", got)
+	}
+}
+
+func TestCSVRecorderConcurrentWriters(t *testing.T) {
+	// Sweep workers share one recorder; the header must be written exactly
+	// once and every row must keep the full column count under contention.
+	var buf bytes.Buffer
+	rec := NewCSVRecorder(&buf, []string{"ASM", "FST"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r := sampleRecord()
+				r.App = w
+				r.Quantum = i
+				rec.Record(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+8*50 {
+		t.Fatalf("%d rows, want header+400", len(rows))
+	}
+	headers := 0
+	for _, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("ragged row: %d cols vs %d", len(row), len(rows[0]))
+		}
+		if row[0] == "mix" {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Fatalf("%d header rows", headers)
+	}
+}
+
+func TestRegistrySnapshotUnderConcurrentWriters(t *testing.T) {
+	// Snapshot (and WriteJSONL, which uses it) must be safe while writers
+	// are mutating and creating metrics — the race detector enforces the
+	// "no torn reads" half; consistency of the final state the rest.
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			sc := r.Scope(fmt.Sprintf("w%d", w))
+			for i := 0; i < 2000; i++ {
+				sc.Counter("ops").Inc()
+				sc.Gauge("depth").Set(int64(i))
+				sc.Timer("lat").Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, m := range r.Snapshot() {
+				if m.Name == "" {
+					t.Error("snapshot metric without a name")
+					return
+				}
+			}
+			if err := r.WriteJSONL(io.Discard); err != nil {
+				t.Errorf("WriteJSONL: %v", err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	for w := 0; w < 4; w++ {
+		if got := r.Scope(fmt.Sprintf("w%d", w)).Counter("ops").Value(); got != 2000 {
+			t.Fatalf("w%d ops = %d, want 2000", w, got)
+		}
+	}
+}
