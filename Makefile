@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke cover
+.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke trace-diff dash-smoke cover
 
 # check is the CI gate: build + vet + tests, then the race detector over
 # the concurrency-heavy packages (sweep workers, cluster rounds, faults,
-# shared telemetry/trace sinks), then the observability smoke test.
-check: build vet test race trace-smoke
+# shared telemetry/trace sinks), then the observability smoke tests and
+# the attribution regression gate.
+check: build vet test race trace-smoke trace-diff dash-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/... ./internal/dash/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -44,6 +45,22 @@ trace-smoke:
 	$(GO) run ./cmd/asmsim -apps mcf,libquantum -quanta 2 -quantum 200000 -trace $(TRACE_OUT) -trace-sample 16
 	$(GO) run ./cmd/tracesum -check $(TRACE_OUT)
 	$(GO) run ./cmd/tracesum $(TRACE_OUT)
+
+# trace-diff is the attribution regression gate: re-run the trace-smoke
+# recipe and diff its attribution matrices + CPI stacks against the
+# committed golden summary. Regenerate the golden (after an intentional
+# model change) with:
+#   go run ./cmd/tracesum -format json $(TRACE_OUT) > cmd/tracesum/testdata/trace-smoke.golden.json
+trace-diff: trace-smoke
+	$(GO) run ./cmd/tracesum -diff -tol 0.02 cmd/tracesum/testdata/trace-smoke.golden.json $(TRACE_OUT)
+
+# dash-smoke launches a real run with the live dashboard enabled, curls
+# every /debug/asm/* endpoint (JSON shapes + one SSE quantum frame), and
+# checks the child tears down cleanly on SIGINT.
+dash-smoke:
+	$(GO) build -o $(CURDIR)/.dash-smoke-asmsim ./cmd/asmsim
+	$(GO) run ./cmd/dashsmoke -bin $(CURDIR)/.dash-smoke-asmsim
+	rm -f $(CURDIR)/.dash-smoke-asmsim
 
 # cover prints per-package statement coverage.
 cover:

@@ -35,6 +35,7 @@ import (
 
 	"asmsim/internal/cluster"
 	"asmsim/internal/core"
+	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
 	"asmsim/internal/faults"
@@ -113,6 +114,11 @@ type (
 	// TraceSummary aggregates a trace's attribution series into run-level
 	// matrices and CPI stacks.
 	TraceSummary = evtrace.Summary
+	// DashServer is the live observability dashboard: mounted on the
+	// profiler's HTTP mux, it streams metrics, per-quantum records and
+	// interference attribution while a run or sweep executes. A nil
+	// *DashServer disables the dashboard at zero cost.
+	DashServer = dash.Server
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -220,6 +226,11 @@ func OpenTracer(path string, cfg TracerConfig) (*Tracer, error) { return evtrace
 // into one aggregate summary.
 func SummarizeTrace(quanta []QuantumAttribution) TraceSummary { return evtrace.Summarize(quanta) }
 
+// NewDashServer returns a live dashboard ready to Mount on the
+// profiler's mux (telemetry.StartProfiler) and wire into RunOptions.Dash
+// or ExperimentScale.Dash.
+func NewDashServer() *DashServer { return dash.NewServer() }
+
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
 
@@ -254,9 +265,20 @@ type RunOptions struct {
 	SharedAloneCache *AloneCurveCache
 	// Trace, when non-nil, records sampled request-lifecycle spans and
 	// exact per-quantum interference attribution matrices for the shared
-	// run (alone replicas are never traced). The caller owns the tracer
-	// and must Close it.
+	// run. The caller owns the tracer and must Close it.
 	Trace *Tracer
+	// AloneTrace, when non-nil alongside GroundTruth, additionally traces
+	// the alone-run replica replays into the given tracer (span export
+	// for ground truth): each replica is a single-app trace series,
+	// separable with evtrace.SplitByApp, whose measured memory-stall time
+	// feeds TraceSummary.CPIStacksMeasured. Ignored when the ground truth
+	// is served from SharedAloneCache (cursor replays simulate nothing).
+	AloneTrace *Tracer
+	// Dash, when non-nil, streams this run live: quantum records fan out
+	// to connected SSE clients, attribution snapshots feed the dashboard
+	// even when Trace is nil, and Telemetry.Metrics (when set) becomes
+	// the dashboard's registry. nil disables the dashboard at zero cost.
+	Dash *DashServer
 }
 
 // RunResult reports per-app outcomes of a Run.
@@ -315,8 +337,11 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 		opt.Attach(sys)
 	}
 	sys.SetTelemetry(opt.Telemetry.Metrics)
-	if opt.Trace != nil {
-		sys.SetTracer(opt.Trace)
+	if opt.Telemetry.Metrics != nil {
+		opt.Dash.SetRegistry(opt.Telemetry.Metrics)
+	}
+	if tr := opt.Dash.AttachTracer(opt.Trace); tr != nil {
+		sys.SetTracer(tr)
 	}
 	var tracker *sim.SlowdownTracker
 	if opt.GroundTruth {
@@ -325,6 +350,7 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 		if err != nil {
 			return nil, err
 		}
+		tracker.AttachAloneTracer(opt.AloneTrace)
 	}
 
 	n := len(specs)
@@ -338,7 +364,7 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	}
 	actualSum := make([]float64, n)
 	measured := 0
-	rec := opt.Telemetry.Recorder
+	rec := opt.Dash.WrapRecorder(opt.Telemetry.Recorder)
 	perEst := make(map[string][]float64, len(ests)) // reused across quanta
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		var actual []float64

@@ -43,21 +43,37 @@ func main() {
 		telDir      = flag.String("telemetry", "", "write quantum-level telemetry (quanta.jsonl + metrics.jsonl) to this directory")
 		telFormat   = flag.String("telemetry-format", "jsonl", "quantum time-series format: jsonl or csv")
 		tracePath   = flag.String("trace", "", "write a Perfetto-loadable chrome-trace JSON (request spans + attribution matrices) to this file")
+		traceAlone  = flag.String("trace-alone", "", "with -groundtruth, also trace the alone-run replica replays to this chrome-trace JSON file")
 		traceSample = flag.Int("trace-sample", 64, "record every Nth demand-miss span in the trace (1 = all; attribution is always exact)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		dashAddr    = flag.String("dash", "", "serve the live dashboard (and pprof) on this address (e.g. localhost:6060); visit /debug/asm/")
 	)
 	flag.Parse()
 
-	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *pprofAddr)
+	// The dashboard and pprof share one listener: -dash selects the
+	// address (and implies the HTTP server); plain -pprof keeps serving
+	// only the profiling routes.
+	var dashSrv *asmsim.DashServer
+	httpAddr := *pprofAddr
+	if *dashAddr != "" {
+		dashSrv = asmsim.NewDashServer()
+		httpAddr = *dashAddr
+	}
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer prof.Stop()
+	// LIFO: the broadcaster closes first so Stop can drain SSE handlers.
+	defer dashSrv.Close()
 	if prof.PprofAddr() != "" {
 		fmt.Fprintf(os.Stderr, "pprof server listening on http://%s/debug/pprof/\n", prof.PprofAddr())
+		if dashSrv != nil {
+			fmt.Fprintf(os.Stderr, "dashboard listening on http://%s/debug/asm/\n", prof.PprofAddr())
+		}
 	}
 
 	if *charact {
@@ -129,10 +145,29 @@ func main() {
 		telReg = asmsim.NewTelemetryRegistry()
 		tel = asmsim.TelemetryOptions{Metrics: telReg, Recorder: rec}
 	}
+	if dashSrv != nil && telReg == nil {
+		// The dashboard's /metrics endpoint wants live counters even when
+		// nothing is written to disk.
+		telReg = asmsim.NewTelemetryRegistry()
+		tel.Metrics = telReg
+	}
 	var tracer *asmsim.Tracer
 	if *tracePath != "" {
 		var err error
 		tracer, err = asmsim.OpenTracer(*tracePath, asmsim.TracerConfig{SampleEvery: *traceSample})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var aloneTracer *asmsim.Tracer
+	if *traceAlone != "" {
+		if !*groundTruth {
+			fmt.Fprintln(os.Stderr, "-trace-alone requires -groundtruth (it traces the alone-run replays)")
+			os.Exit(1)
+		}
+		var err error
+		aloneTracer, err = asmsim.OpenTracer(*traceAlone, asmsim.TracerConfig{SampleEvery: *traceSample})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -146,6 +181,8 @@ func main() {
 		Estimators:   []asmsim.Estimator{asmsim.NewASM(), asmsim.NewFST(), asmsim.NewPTCA(), asmsim.NewMISE()},
 		Telemetry:    tel,
 		Trace:        tracer,
+		AloneTrace:   aloneTracer,
+		Dash:         dashSrv,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,6 +206,10 @@ func main() {
 	}
 	if err := tracer.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		exitCode = 1
+	}
+	if err := aloneTracer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-alone: %v\n", err)
 		exitCode = 1
 	}
 

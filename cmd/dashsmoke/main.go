@@ -1,0 +1,266 @@
+// Command dashsmoke is the CI smoke test for the live dashboard: it
+// launches a real asmsim run with -dash, scrapes the advertised address
+// from the child's stderr, exercises every /debug/asm/* endpoint —
+// validating JSON shapes and one complete SSE quantum frame — then
+// interrupts the child and checks it tears down promptly.
+//
+// Usage:
+//
+//	go build -o /tmp/asmsim ./cmd/asmsim
+//	go run ./cmd/dashsmoke -bin /tmp/asmsim
+//
+// The child is given far more quanta than the smoke needs; dashsmoke
+// always ends it with SIGINT, and the run's context-cancellation exit
+// is the expected teardown path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var addrRe = regexp.MustCompile(`dashboard listening on http://(\S+)/debug/asm/`)
+
+func main() {
+	var (
+		bin     = flag.String("bin", "", "path to a built asmsim binary (required)")
+		timeout = flag.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "usage: dashsmoke -bin /path/to/asmsim")
+		os.Exit(2)
+	}
+	if err := run(*bin, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "dash-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("dash-smoke: OK")
+}
+
+func run(bin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	cmd := exec.Command(bin,
+		"-apps", "mcf,libquantum",
+		"-quanta", "1000000", // far beyond the smoke window; SIGINT ends it
+		"-quantum", "200000",
+		"-groundtruth",
+		"-dash", "127.0.0.1:0",
+	)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// Whatever happens below, never leave the child running.
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Scrape the bound address from the child's stderr banner, then keep
+	// draining the pipe so the child never blocks on a full buffer.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "  [asmsim] %s\n", line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr + "/debug/asm"
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("child never advertised a dashboard address")
+	}
+
+	checks := []struct {
+		name string
+		fn   func(string, time.Time) error
+	}{
+		{"index", checkIndex},
+		{"metrics", checkMetrics},
+		{"progress", checkProgress},
+		{"attribution", checkAttribution},
+		{"quanta SSE", checkQuantaSSE},
+	}
+	for _, c := range checks {
+		if err := c.fn(base, deadline); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Printf("  %-12s ok\n", c.name)
+	}
+
+	// Clean teardown: SIGINT cancels the run context; the child reports
+	// the cancellation and exits non-zero. Anything but a prompt exit
+	// (or being force-killed) fails the smoke.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		return fmt.Errorf("interrupt child: %w", err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		var exit *exec.ExitError
+		if err == nil || (errors.As(err, &exit) && exit.ExitCode() > 0) {
+			return nil
+		}
+		return fmt.Errorf("child exited abnormally: %v", err)
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("child did not exit within 15s of SIGINT")
+	}
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func checkIndex(base string, _ time.Time) error {
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "<!DOCTYPE html>") {
+		return fmt.Errorf("index page is not the embedded dashboard")
+	}
+	return nil
+}
+
+func checkMetrics(base string, _ time.Time) error {
+	var m struct {
+		Metrics []json.RawMessage `json:"metrics"`
+		Dash    json.RawMessage   `json:"dash"`
+	}
+	if err := getJSON(base+"/metrics?delta=smoke", &m); err != nil {
+		return err
+	}
+	if len(m.Metrics) == 0 {
+		return fmt.Errorf("no metrics registered (sim.* counters missing)")
+	}
+	if m.Dash == nil {
+		return fmt.Errorf("no dash stats block")
+	}
+	// The second delta-token poll must succeed too (the first primes it).
+	var again struct{}
+	return getJSON(base+"/metrics?delta=smoke", &again)
+}
+
+func checkProgress(base string, _ time.Time) error {
+	var p struct {
+		Progress json.RawMessage `json:"progress"`
+	}
+	if err := getJSON(base+"/progress", &p); err != nil {
+		return err
+	}
+	if p.Progress == nil {
+		return fmt.Errorf("no progress block")
+	}
+	return nil
+}
+
+// checkAttribution polls until the first quantum completes and the
+// endpoint carries a real victim×cause matrix.
+func checkAttribution(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		var a struct {
+			Present     bool `json:"present"`
+			Attribution *struct {
+				Apps []string        `json:"apps"`
+				Mem  [][]float64     `json:"mem"`
+				Args json.RawMessage `json:"-"`
+			} `json:"attribution"`
+		}
+		if err := getJSON(base+"/attribution", &a); err != nil {
+			return err
+		}
+		if a.Present {
+			if a.Attribution == nil || len(a.Attribution.Apps) != 2 || len(a.Attribution.Mem) != 2 {
+				return fmt.Errorf("present but malformed: %+v", a.Attribution)
+			}
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("no attribution before deadline")
+}
+
+// checkQuantaSSE reads the stream until one complete quantum frame
+// arrives and its data payload decodes as a telemetry record.
+func checkQuantaSSE(base string, deadline time.Time) error {
+	client := &http.Client{Timeout: time.Until(deadline)}
+	resp, err := client.Get(base + "/quanta")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	inQuantum := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: quantum" {
+			inQuantum = true
+			continue
+		}
+		if inQuantum && strings.HasPrefix(line, "data: ") {
+			var rec struct {
+				App   *int   `json:"app"`
+				Bench string `json:"bench"`
+			}
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &rec); err != nil {
+				return fmt.Errorf("quantum frame is not JSON: %w", err)
+			}
+			if rec.App == nil || rec.Bench == "" {
+				return fmt.Errorf("quantum frame missing app/bench: %s", line)
+			}
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream ended: %w", err)
+	}
+	return fmt.Errorf("stream closed before a quantum frame")
+}

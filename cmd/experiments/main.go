@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
 	"asmsim/internal/telemetry"
@@ -58,6 +59,7 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		dashAddr    = flag.String("dash", "", "serve the live dashboard (and pprof) on this address; visit /debug/asm/ while the sweep runs")
 	)
 	flag.Parse()
 
@@ -73,13 +75,26 @@ func main() {
 		return
 	}
 
-	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *pprofAddr)
+	// The dashboard and pprof share one listener: -dash selects the
+	// address; plain -pprof serves only the profiling routes.
+	var dashSrv *dash.Server
+	httpAddr := *pprofAddr
+	if *dashAddr != "" {
+		dashSrv = dash.NewServer()
+		httpAddr = *dashAddr
+	}
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount)
 	if err != nil {
 		fatal(err)
 	}
 	defer prof.Stop()
+	// LIFO: the broadcaster closes first so Stop can drain SSE handlers.
+	defer dashSrv.Close()
 	if prof.PprofAddr() != "" {
 		fmt.Fprintf(os.Stderr, "pprof server listening on http://%s/debug/pprof/\n", prof.PprofAddr())
+		if dashSrv != nil {
+			fmt.Fprintf(os.Stderr, "dashboard listening on http://%s/debug/asm/\n", prof.PprofAddr())
+		}
 	}
 
 	sc := exp.Quick()
@@ -128,6 +143,14 @@ func main() {
 		}
 		reg = telemetry.NewRegistry()
 	}
+	if dashSrv != nil {
+		// The dashboard's /metrics endpoint wants live counters even when
+		// no telemetry directory is written.
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		dashSrv.SetRegistry(reg)
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fatal(err)
@@ -153,8 +176,9 @@ func main() {
 				fatal(err)
 			}
 			scRun.Telemetry.Recorder = rec
-			scRun.Telemetry.Metrics = reg
 		}
+		scRun.Telemetry.Metrics = reg
+		scRun.Dash = dashSrv
 		var tracer *evtrace.Tracer
 		if *traceDir != "" {
 			tracer, err = evtrace.Open(filepath.Join(*traceDir, e.ID+".trace.json"),
@@ -169,6 +193,9 @@ func main() {
 			prg = telemetry.NewProgress(os.Stderr, e.ID, 0)
 			scRun.Telemetry.Progress = prg
 		}
+		// Each experiment's progress replaces the previous one on the
+		// dashboard (the /progress endpoint tracks the live sweep).
+		dashSrv.SetProgress(prg)
 		start := time.Now()
 		table, err := e.Run(ctx, scRun)
 		prg.Finish()

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmsim/internal/evtrace"
+	"asmsim/internal/exp"
+)
+
+// fixtureAttribution builds a 2-app quantum snapshot with non-trivial
+// matrices, the shape asmsim emits into a chrome-trace file.
+func fixtureAttribution(q int) evtrace.QuantumAttribution {
+	return evtrace.QuantumAttribution{
+		Quantum: q, EndCycle: uint64(q+1) * 200_000, Cycles: 200_000,
+		Apps:         []string{"mcf", "lbm"},
+		Mem:          [][]float64{{0, 120_000, 3_000}, {90_000, 0, 2_000}},
+		MemRowTotals: []float64{123_000, 92_000},
+		Cache:        [][]float64{{0, 40_000, 0}, {25_000, 0, 0}},
+		AppStats: []evtrace.AppQuantumStats{
+			{Name: "mcf", Retired: 80_000, MemStallCycles: 150_000, MemInterf: 123_000, CacheInterf: 40_000},
+			{Name: "lbm", Retired: 120_000, MemStallCycles: 130_000, MemInterf: 92_000, CacheInterf: 25_000},
+		},
+	}
+}
+
+// writeFixtureTrace writes a minimal chrome-trace file carrying two
+// attribution snapshots.
+func writeFixtureTrace(t *testing.T, path string) {
+	t.Helper()
+	type arg struct {
+		Attribution evtrace.QuantumAttribution `json:"attribution"`
+	}
+	tf := map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents": []map[string]any{
+			{"name": "attribution", "ph": "i", "ts": 0.0, "pid": 1, "args": arg{fixtureAttribution(0)}},
+			{"name": "attribution", "ph": "i", "ts": 1.0, "pid": 1, "args": arg{fixtureAttribution(1)}},
+		},
+	}
+	data, err := json.Marshal(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSummary(t *testing.T, path string, tables []*exp.Table) {
+	t.Helper()
+	data, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixtureTables() []*exp.Table {
+	return summaryTables(evtrace.Summarize([]evtrace.QuantumAttribution{
+		fixtureAttribution(0), fixtureAttribution(1),
+	}))
+}
+
+// TestLoadTablesAutoDetect: both accepted input formats resolve to the
+// same canonical tables, and garbage is rejected.
+func TestLoadTablesAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	writeFixtureTrace(t, tracePath)
+	fromTrace, err := loadTables(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"trace-mem", "trace-cache", "trace-cpi"}
+	if len(fromTrace) != len(wantIDs) {
+		t.Fatalf("trace loaded %d tables, want %d", len(fromTrace), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if fromTrace[i].ID != id {
+			t.Fatalf("table %d = %q, want %q", i, fromTrace[i].ID, id)
+		}
+	}
+
+	sumPath := filepath.Join(dir, "summary.json")
+	writeSummary(t, sumPath, fixtureTables())
+	fromSummary, err := loadTables(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace-side and summary-side loads must be diff-identical.
+	diffs, cells, err := diffTables(fromTrace, fromSummary, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 || cells == 0 {
+		t.Fatalf("formats disagree: %d diffs over %d cells: %v", len(diffs), cells, diffs)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTables(bad); err == nil {
+		t.Fatal("garbage JSON must be rejected")
+	}
+}
+
+func TestDiffTablesWithinTolerance(t *testing.T) {
+	oldT, newT := fixtureTables(), fixtureTables()
+	// Nudge one matrix cell by 1% — inside a 2% gate.
+	newT[0].Rows[0][2] = "0.242" // was 0.240 Mcycles (2×120000/1e6)
+	diffs, cells, err := diffTables(oldT, newT, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("1%% drift flagged at 2%% tolerance: %v", diffs)
+	}
+	if cells == 0 {
+		t.Fatal("no numeric cells compared")
+	}
+}
+
+func TestDiffTablesBeyondTolerance(t *testing.T) {
+	oldT, newT := fixtureTables(), fixtureTables()
+	newT[0].Rows[1][1] = "0.250" // was 0.180: +39%
+	diffs, _, err := diffTables(oldT, newT, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs, want 1: %v", len(diffs), diffs)
+	}
+	d := diffs[0]
+	if d.table != "trace-mem" || d.row != "lbm" || d.col != "mcf" {
+		t.Fatalf("diff located at %s[%s][%s]", d.table, d.row, d.col)
+	}
+	if d.rel < 0.25 {
+		t.Fatalf("relative error %.3f implausibly small", d.rel)
+	}
+	if s := d.String(); !strings.Contains(s, "trace-mem[lbm][mcf]") {
+		t.Fatalf("diff renders as %q", s)
+	}
+}
+
+// TestDiffTablesNoiseFloor: a huge relative change on a near-zero cell
+// is noise, not regression.
+func TestDiffTablesNoiseFloor(t *testing.T) {
+	oldT, newT := fixtureTables(), fixtureTables()
+	// system column for mcf: 2×3000/1e6 = 0.006 Mcycles. Triple it.
+	newT[0].Rows[0][3] = "0.018"
+	diffs, _, err := diffTables(oldT, newT, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("sub-floor cell flagged: %v", diffs)
+	}
+}
+
+func TestDiffTablesStructuralDrift(t *testing.T) {
+	base := fixtureTables()
+
+	missing := fixtureTables()[:2]
+	if _, _, err := diffTables(base, missing, 0.02); err == nil {
+		t.Fatal("dropped table must be structural failure")
+	}
+
+	renamed := fixtureTables()
+	renamed[2].Header[1] = "IPC"
+	if _, _, err := diffTables(base, renamed, 0.02); err == nil {
+		t.Fatal("renamed header must be structural failure")
+	}
+
+	relabeled := fixtureTables()
+	relabeled[0].Rows[0][0] = "gcc"
+	if _, _, err := diffTables(base, relabeled, 0.02); err == nil {
+		t.Fatal("relabeled victim row must be structural failure")
+	}
+}
+
+// TestRunDiffEndToEnd drives the CLI path: a golden summary diffed
+// against the raw trace it came from passes; a perturbed golden fails.
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	writeFixtureTrace(t, tracePath)
+	golden := filepath.Join(dir, "golden.json")
+	writeSummary(t, golden, fixtureTables())
+
+	if err := runDiff(golden, tracePath, 0.02); err != nil {
+		t.Fatalf("identical runs diverge: %v", err)
+	}
+
+	bent := fixtureTables()
+	bent[2].Rows[0][1] = "9.999" // CPI wildly off
+	badGolden := filepath.Join(dir, "bent.json")
+	writeSummary(t, badGolden, bent)
+	if err := runDiff(badGolden, tracePath, 0.02); err == nil {
+		t.Fatal("perturbed golden must fail the gate")
+	}
+}

@@ -10,6 +10,11 @@
 //	tracesum /tmp/run.trace.json
 //	tracesum -check /tmp/run.trace.json       # schema validation only
 //	tracesum -format csv /tmp/run.trace.json
+//	tracesum -diff old.json new.json -tol 0.02   # regression gate
+//
+// In -diff mode each argument may be a raw asmsim trace (summarized on
+// the fly) or a summary previously saved with -format json, so CI can
+// diff a fresh trace against a committed golden summary directly.
 package main
 
 import (
@@ -27,8 +32,29 @@ func main() {
 		check    = flag.Bool("check", false, "validate the chrome-trace schema and exit (no tables)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		perQuant = flag.Bool("quanta", false, "also print one interference row per quantum")
+		diffMode = flag.Bool("diff", false, "compare two traces/summaries cell by cell; non-zero exit past -tol")
+		tol      = flag.Float64("tol", 0.02, "relative tolerance for -diff numeric cells")
 	)
 	flag.Parse()
+	if *diffMode {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: tracesum -diff <old.json> <new.json> [-tol 0.02]")
+			os.Exit(2)
+		}
+		oldPath, newPath := flag.Arg(0), flag.Arg(1)
+		// Accept `-diff old new -tol 0.02` too: stdlib flag stops at the
+		// first positional, so re-parse anything after the two paths.
+		if rest := flag.Args()[2:]; len(rest) > 0 {
+			if err := flag.CommandLine.Parse(rest); err != nil || flag.NArg() != 0 {
+				fmt.Fprintln(os.Stderr, "usage: tracesum -diff <old.json> <new.json> [-tol 0.02]")
+				os.Exit(2)
+			}
+		}
+		if err := runDiff(oldPath, newPath, *tol); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracesum [-check] [-format text|csv|json] <trace.json>")
 		os.Exit(2)
@@ -52,15 +78,19 @@ func main() {
 	if len(quanta) == 0 {
 		fatal(fmt.Errorf("%s: no attribution events (was the run traced?)", path))
 	}
-	sum := evtrace.Summarize(quanta)
-
-	tables := []*exp.Table{
-		matrixTable("trace-mem", "Memory interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Mem, sum.MemRowTotals),
-		matrixTable("trace-cache", "Shared-cache interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Cache, nil),
-		cpiTable(sum),
-	}
+	tables := summaryTables(evtrace.Summarize(quanta))
 	if *perQuant {
 		tables = append(tables, quantaTable(quanta))
+	}
+	// JSON emits the whole run as ONE document (an array of tables) so the
+	// output round-trips through -diff and jq without multi-document hacks.
+	if *format == "json" {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 	for i, t := range tables {
 		out, err := render(t, *format)
@@ -71,6 +101,16 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Println(out)
+	}
+}
+
+// summaryTables builds the canonical table set for a run summary — the
+// unit -diff compares and -format json emits.
+func summaryTables(sum evtrace.Summary) []*exp.Table {
+	return []*exp.Table{
+		matrixTable("trace-mem", "Memory interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Mem, sum.MemRowTotals),
+		matrixTable("trace-cache", "Shared-cache interference attribution (Mcycles, cause × victim)", sum.Apps, sum.Cache, nil),
+		cpiTable(sum),
 	}
 }
 

@@ -1,0 +1,92 @@
+package asmsim_test
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"asmsim"
+)
+
+// TestDashboardDoesNotPerturbResults is the dashboard's core guarantee:
+// running with the dashboard attached — registry wired, SSE client
+// connected and consuming the quantum stream, attribution sink observing
+// every quantum — produces bit-identical results to a dashboard-less
+// run. The simulation is deterministic, so any divergence means the
+// observability layer leaked into the simulated machine.
+func TestDashboardDoesNotPerturbResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run integration test")
+	}
+	cfg := asmsim.DefaultConfig()
+	cfg.Quantum = 200_000
+	names := []string{"mcf", "libquantum"}
+	opt := asmsim.RunOptions{WarmupQuanta: 1, Quanta: 2, GroundTruth: true}
+
+	base, err := asmsim.Run(cfg, names, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := asmsim.NewDashServer()
+	defer srv.Close()
+	mux := http.NewServeMux()
+	srv.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// A live SSE client consuming (slowly: it only reads event lines) for
+	// the whole run.
+	resp, err := http.Get(ts.URL + "/debug/asm/quanta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wg sync.WaitGroup
+	frames := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: quantum") {
+				frames++
+			}
+		}
+	}()
+
+	optDash := opt
+	optDash.Dash = srv
+	optDash.Telemetry.Metrics = asmsim.NewTelemetryRegistry()
+	withDash, err := asmsim.Run(cfg, names, optDash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // ends the SSE stream so the reader goroutine exits
+	wg.Wait()
+
+	if !reflect.DeepEqual(base, withDash) {
+		t.Fatalf("dashboard perturbed the run:\nbase:     %+v\nwith dash: %+v", base, withDash)
+	}
+	// (warmup+measured quanta) × apps frames were broadcast.
+	if want := (opt.WarmupQuanta + opt.Quanta) * len(names); frames != want {
+		t.Fatalf("SSE client saw %d quantum frames, want %d", frames, want)
+	}
+
+	// The attribution endpoint saw the run even though no Trace was set.
+	ar, err := http.Get(ts.URL + "/debug/asm/attribution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Body.Close()
+	var buf [1 << 12]byte
+	n, _ := ar.Body.Read(buf[:])
+	body := string(buf[:n])
+	if !strings.Contains(body, `"present": true`) {
+		t.Fatalf("attribution endpoint empty after dashboard run: %s", body)
+	}
+}

@@ -8,13 +8,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"asmsim"
+	"asmsim/internal/telemetry"
 )
 
 func main() {
+	dashAddr := flag.String("dash", "", "serve the live dashboard on this address; cluster event/health gauges appear under cluster.* in /debug/asm/metrics")
+	flag.Parse()
+
 	sys := asmsim.DefaultConfig()
 	sys.Quantum = 500_000
 	sys.ATSSampledSets = 64
@@ -30,6 +35,22 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// With -dash, the balancer's audit-log counters and health gauges
+	// stream live on /debug/asm/metrics while the rounds run.
+	if *dashAddr != "" {
+		dashSrv := asmsim.NewDashServer()
+		reg := asmsim.NewTelemetryRegistry()
+		cl.SetTelemetry(reg)
+		dashSrv.SetRegistry(reg)
+		prof, err := telemetry.StartProfiler("", "", *dashAddr, dashSrv.Mount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer prof.Stop()
+		defer dashSrv.Close()
+		fmt.Printf("dashboard listening on http://%s/debug/asm/\n", prof.PprofAddr())
 	}
 
 	show := func(tag string) {

@@ -1,0 +1,184 @@
+package dash
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"asmsim/internal/telemetry"
+)
+
+func rec(app, quantum int) *telemetry.QuantumRecord {
+	return &telemetry.QuantumRecord{
+		Mix: "a+b", App: app, Quantum: quantum,
+		Actual:    1.5,
+		Estimates: map[string]float64{"ASM": 1.4},
+	}
+}
+
+func TestBroadcasterNilSafe(t *testing.T) {
+	var b *Broadcaster
+	b.Record(rec(0, 0)) // must not panic
+	if err := b.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if st := b.Stats(); st != (BroadcastStats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", st)
+	}
+	ch, cancel := b.Subscribe()
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("nil broadcaster subscription should be closed")
+	}
+}
+
+func TestBroadcasterFanout(t *testing.T) {
+	b := NewBroadcaster()
+	ch1, cancel1 := b.Subscribe()
+	ch2, cancel2 := b.Subscribe()
+	defer cancel1()
+	defer cancel2()
+	b.Record(rec(0, 7))
+	for i, ch := range []<-chan []byte{ch1, ch2} {
+		frame := <-ch
+		if !bytes.HasPrefix(frame, []byte("event: quantum\ndata: ")) {
+			t.Fatalf("sub %d: bad frame prefix: %q", i, frame)
+		}
+		if !bytes.HasSuffix(frame, []byte("\n\n")) {
+			t.Fatalf("sub %d: frame not terminated: %q", i, frame)
+		}
+		if !bytes.Contains(frame, []byte(`"quantum":7`)) {
+			t.Fatalf("sub %d: missing record payload: %q", i, frame)
+		}
+	}
+	if st := b.Stats(); st.Frames != 1 || st.Subscribers != 2 || st.Drops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBroadcasterNoSubscribersIsFree(t *testing.T) {
+	b := NewBroadcaster()
+	r := rec(0, 0)
+	allocs := testing.AllocsPerRun(100, func() { b.Record(r) })
+	if allocs != 0 {
+		t.Fatalf("Record with no subscribers allocated %v times, want 0", allocs)
+	}
+	if st := b.Stats(); st.Frames != 0 {
+		t.Fatalf("frames counted with no subscribers: %+v", st)
+	}
+}
+
+// TestBroadcasterSlowClientDropsOldest fills a subscriber's buffer past
+// capacity and checks that the producer never blocked, the oldest frames
+// were the ones lost, and the drop counter saw every loss.
+func TestBroadcasterSlowClientDropsOldest(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	const extra = 10
+	for q := 0; q < subBuffer+extra; q++ {
+		b.Record(rec(0, q)) // must never block
+	}
+	if st := b.Stats(); st.Drops != extra {
+		t.Fatalf("drops = %d, want %d", st.Drops, extra)
+	}
+	// The survivors are the newest subBuffer frames, in order.
+	first := <-ch
+	if !bytes.Contains(first, []byte(`"quantum":10`)) {
+		t.Fatalf("oldest surviving frame = %q, want quantum 10", first)
+	}
+	n := 1
+	for {
+		select {
+		case <-ch:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != subBuffer {
+		t.Fatalf("surviving frames = %d, want %d", n, subBuffer)
+	}
+}
+
+// TestBroadcasterConcurrent hammers the broadcaster from concurrent
+// producers while subscribers churn; run under -race this is the
+// fan-out's data-race proof.
+func TestBroadcasterConcurrent(t *testing.T) {
+	b := NewBroadcaster()
+	const producers, records, readers = 4, 200, 3
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := b.Subscribe()
+			n := 0
+			for range ch {
+				n++
+				if n == 50 {
+					cancel() // churn: unsubscribe mid-stream
+				}
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for q := 0; q < records; q++ {
+				b.Record(rec(p, q))
+			}
+		}(p)
+	}
+	pwg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	// Close is idempotent and Record after Close is a no-op.
+	b.Record(rec(0, 0))
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestBroadcasterSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcaster()
+	b.Close()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Fatal("subscription after Close should be closed immediately")
+	}
+}
+
+// BenchmarkRecordNoSubscribers guards the disabled path: a broadcaster
+// in the recorder chain with nobody connected must not allocate per
+// record. Run with -benchtime=1x in bench-smoke.
+func BenchmarkRecordNoSubscribers(b *testing.B) {
+	bc := NewBroadcaster()
+	r := rec(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Record(r)
+	}
+	if testing.AllocsPerRun(100, func() { bc.Record(r) }) != 0 {
+		b.Fatal("Record with no subscribers must not allocate")
+	}
+}
+
+// BenchmarkRecordNilBroadcaster guards the fully disabled path (dash off
+// entirely: nil broadcaster behind a Recorder interface).
+func BenchmarkRecordNilBroadcaster(b *testing.B) {
+	var bc *Broadcaster
+	r := rec(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Record(r)
+	}
+}

@@ -1,0 +1,305 @@
+package dash
+
+import (
+	_ "embed"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"asmsim/internal/evtrace"
+	"asmsim/internal/telemetry"
+)
+
+//go:embed static/index.html
+var indexHTML []byte
+
+// maxDeltaTokens caps how many distinct ?delta= clients the metrics
+// endpoint remembers previous snapshots for; the oldest token is evicted
+// past the cap so an endpoint scraper cycling random tokens cannot grow
+// server memory.
+const maxDeltaTokens = 64
+
+// Server is the dashboard's state hub: the run layers hand it the
+// metrics registry, sweep progress, the quantum-record stream
+// (WrapRecorder) and the attribution stream (AttachTracer); Mount
+// registers its HTTP handlers on the profiler's mux. Every method is
+// safe on a nil *Server — WrapRecorder and AttachTracer then return
+// their argument unchanged — so call sites need no enabled-checks.
+type Server struct {
+	bc *Broadcaster
+
+	quantaSeen atomic.Uint64 // attribution snapshots observed
+
+	mu       sync.Mutex
+	reg      *telemetry.Registry
+	prog     *telemetry.Progress
+	lastAttr *evtrace.QuantumAttribution
+
+	deltaMu    sync.Mutex
+	deltas     map[string]map[string]telemetry.Metric
+	deltaOrder []string
+}
+
+// NewServer returns a dashboard with a fresh broadcaster.
+func NewServer() *Server {
+	return &Server{
+		bc:     NewBroadcaster(),
+		deltas: map[string]map[string]telemetry.Metric{},
+	}
+}
+
+// SetRegistry points /debug/asm/metrics at r (replace semantics: a sweep
+// binary sets it once; per-experiment registries can be swapped in).
+func (s *Server) SetRegistry(r *telemetry.Registry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg = r
+	s.mu.Unlock()
+}
+
+// SetProgress points /debug/asm/progress at p.
+func (s *Server) SetProgress(p *telemetry.Progress) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.prog = p
+	s.mu.Unlock()
+}
+
+// ObserveAttribution retains q as the latest interference snapshot
+// served by /debug/asm/attribution. It is the evtrace per-quantum
+// subscriber (AttachTracer wires it) and is safe from any goroutine.
+func (s *Server) ObserveAttribution(q evtrace.QuantumAttribution) {
+	if s == nil {
+		return
+	}
+	s.quantaSeen.Add(1)
+	s.mu.Lock()
+	s.lastAttr = &q
+	s.mu.Unlock()
+}
+
+// WrapRecorder splices the dashboard's broadcaster into a run's recorder
+// chain: records flow to both rec and any connected SSE clients. On a
+// nil Server rec is returned unchanged, so the wire-up costs nothing
+// when the dashboard is off.
+func (s *Server) WrapRecorder(rec telemetry.Recorder) telemetry.Recorder {
+	if s == nil {
+		return rec
+	}
+	return telemetry.Fanout(rec, s.bc)
+}
+
+// AttachTracer subscribes the dashboard to a run's per-quantum
+// attribution stream. A nil Server returns t unchanged. A non-nil t
+// (the run is already writing a trace file) gains the dashboard as its
+// live subscriber; a nil t is replaced with a matrix-only sink tracer so
+// attribution flows even when no -trace file was requested.
+func (s *Server) AttachTracer(t *evtrace.Tracer) *evtrace.Tracer {
+	if s == nil {
+		return t
+	}
+	if t == nil {
+		t = evtrace.NewSink()
+	}
+	t.SetOnQuantum(s.ObserveAttribution)
+	return t
+}
+
+// Mount registers every dashboard route on mux. The signature matches
+// telemetry.StartProfiler's mount hooks, so the dashboard and pprof
+// share one listener. Mounting a nil Server registers nothing.
+func (s *Server) Mount(mux *http.ServeMux) {
+	if s == nil {
+		return
+	}
+	mux.HandleFunc("/debug/asm/", s.handleIndex)
+	mux.HandleFunc("/debug/asm/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/asm/quanta", s.handleQuanta)
+	mux.HandleFunc("/debug/asm/attribution", s.handleAttribution)
+	mux.HandleFunc("/debug/asm/progress", s.handleProgress)
+}
+
+// Close shuts the SSE fan-out down so connected clients' handlers exit;
+// call it before stopping the profiler's HTTP server so shutdown can
+// drain them. Nil-safe and idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.bc.Close()
+}
+
+// handleIndex serves the embedded single-file dashboard page at exactly
+// /debug/asm/ (anything deeper that no other route claims is a 404).
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug/asm/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(indexHTML)
+}
+
+// metricsResponse is the /debug/asm/metrics payload.
+type metricsResponse struct {
+	// Metrics is the full registry snapshot, sorted by name.
+	Metrics []telemetry.Metric `json:"metrics"`
+	// Delta maps metric name to its value change since the same ?delta=
+	// token's previous poll (non-zero changes only; omitted on a token's
+	// first poll).
+	Delta map[string]int64 `json:"delta,omitempty"`
+	// Dash reports the dashboard's own stream health.
+	Dash dashStats `json:"dash"`
+}
+
+type dashStats struct {
+	BroadcastStats
+	QuantaSeen uint64 `json:"quanta_seen"`
+}
+
+// handleMetrics serves the live registry snapshot as JSON. An optional
+// ?delta=<token> query makes the response carry per-metric deltas since
+// that token's previous poll, so pollers get rates without client-side
+// bookkeeping.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	resp := metricsResponse{
+		Metrics: reg.Snapshot(),
+		Dash:    dashStats{BroadcastStats: s.bc.Stats(), QuantaSeen: s.quantaSeen.Load()},
+	}
+	if resp.Metrics == nil {
+		resp.Metrics = []telemetry.Metric{}
+	}
+	if tok := r.URL.Query().Get("delta"); tok != "" {
+		resp.Delta = s.delta(tok, resp.Metrics)
+	}
+	writeJSON(w, resp)
+}
+
+// delta diffs snap against the token's previous snapshot (remembering
+// snap for next time) and returns the non-zero value changes.
+func (s *Server) delta(tok string, snap []telemetry.Metric) map[string]int64 {
+	cur := make(map[string]telemetry.Metric, len(snap))
+	for _, m := range snap {
+		cur[m.Name] = m
+	}
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	prev, seen := s.deltas[tok]
+	if !seen {
+		if len(s.deltaOrder) >= maxDeltaTokens {
+			delete(s.deltas, s.deltaOrder[0])
+			s.deltaOrder = s.deltaOrder[1:]
+		}
+		s.deltaOrder = append(s.deltaOrder, tok)
+	}
+	s.deltas[tok] = cur
+	if !seen {
+		return nil
+	}
+	out := map[string]int64{}
+	for name, m := range cur {
+		if d := m.Value - prev[name].Value; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// attributionResponse is the /debug/asm/attribution payload.
+type attributionResponse struct {
+	// Present is false until the first quantum's snapshot arrives.
+	Present bool `json:"present"`
+	// Seen counts attribution snapshots observed so far.
+	Seen uint64 `json:"seen"`
+	// Attribution is the latest per-quantum victim×cause matrix pair
+	// (shared-cache and main-memory splits), present when Present.
+	Attribution *evtrace.QuantumAttribution `json:"attribution,omitempty"`
+}
+
+// handleAttribution serves the most recent interference attribution
+// snapshot.
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	last := s.lastAttr
+	s.mu.Unlock()
+	writeJSON(w, attributionResponse{
+		Present:     last != nil,
+		Seen:        s.quantaSeen.Load(),
+		Attribution: last,
+	})
+}
+
+// progressResponse is the /debug/asm/progress payload.
+type progressResponse struct {
+	Progress telemetry.ProgressState `json:"progress"`
+	// Metrics is the sweep-health slice of the registry (the exp.* scope:
+	// item timers, done/failed counts, worker utilization gauges).
+	Metrics []telemetry.Metric `json:"metrics"`
+}
+
+// handleProgress serves the sweep's progress state plus the registry's
+// exp.* metrics (timers, losses, worker utilization).
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	prog, reg := s.prog, s.reg
+	s.mu.Unlock()
+	resp := progressResponse{Progress: prog.State(), Metrics: []telemetry.Metric{}}
+	for _, m := range reg.Snapshot() {
+		if strings.HasPrefix(m.Name, "exp.") {
+			resp.Metrics = append(resp.Metrics, m)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleQuanta streams QuantumRecords as Server-Sent Events: one
+// `event: quantum` frame per (app, quantum), drop-oldest under
+// backpressure. The stream ends when the client disconnects or the
+// dashboard closes.
+func (s *Server) handleQuanta(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	ch, cancel := s.bc.Subscribe()
+	defer cancel()
+	// Tell the client we are live before the first quantum lands.
+	w.Write([]byte("retry: 1000\n: stream open\n\n"))
+	flusher.Flush()
+	for {
+		select {
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON renders v with a stable content type; encoding errors are
+// the client's connection problem, not ours to surface.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}

@@ -121,11 +121,13 @@ type Tracer struct {
 	spanCount   atomic.Uint64 // sampled spans emitted (lane rotation)
 
 	mu     sync.Mutex
-	bw     *bufio.Writer
+	bw     *bufio.Writer // nil for a matrix-only sink tracer (NewSink)
 	c      io.Closer
 	wrote  bool // any event written yet (comma management)
 	closed bool
 	err    error
+
+	onQuantum func(QuantumAttribution) // optional live subscriber
 
 	apps   []string
 	quanta []QuantumAttribution
@@ -140,6 +142,27 @@ func New(w io.Writer, cfg Config) *Tracer {
 	t := &Tracer{sampleEvery: uint64(se), bw: bufio.NewWriter(w)}
 	t.bw.WriteString(`{"displayTimeUnit":"ns","otherData":{"tool":"asmsim","cycles_per_us":1000},"traceEvents":[`)
 	return t
+}
+
+// NewSink returns a matrix-only tracer: it accumulates the per-quantum
+// attribution series (Quanta, SetOnQuantum) but writes no trace file and
+// never samples spans. The live dashboard uses it to obtain exact
+// attribution without paying for JSON span emission when no -trace file
+// was requested.
+func NewSink() *Tracer {
+	return &Tracer{sampleEvery: 1}
+}
+
+// SetOnQuantum registers fn to receive every per-quantum attribution
+// snapshot as it is emitted (the dashboard's live feed). Safe on a nil
+// tracer; a nil fn unsubscribes.
+func (t *Tracer) SetOnQuantum(fn func(QuantumAttribution)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onQuantum = fn
+	t.mu.Unlock()
 }
 
 // Open creates (or truncates) path and streams the trace to it.
@@ -183,7 +206,7 @@ func (t *Tracer) emit(evs ...event) {
 }
 
 func (t *Tracer) emitLocked(evs ...event) {
-	if t.err != nil || t.closed {
+	if t.err != nil || t.closed || t.bw == nil {
 		return
 	}
 	for _, e := range evs {
@@ -229,7 +252,7 @@ func (t *Tracer) BeginRun(names []string) {
 // its span recorded (the 1-in-N sampling clock). Safe from concurrent
 // simulators; a nil tracer never samples.
 func (t *Tracer) SampleMiss() bool {
-	if t == nil {
+	if t == nil || t.bw == nil {
 		return false
 	}
 	return t.missCount.Add(1)%t.sampleEvery == 0
@@ -306,7 +329,20 @@ func (t *Tracer) Quantum(q QuantumAttribution) {
 	if t == nil {
 		return
 	}
-	evs := make([]event, 0, len(q.Apps)+1)
+	var evs []event
+	if t.bw == nil {
+		// Matrix-only sink: retain and forward the snapshot, skip the
+		// trace-event construction entirely.
+		t.mu.Lock()
+		t.quanta = append(t.quanta, q)
+		fn := t.onQuantum
+		t.mu.Unlock()
+		if fn != nil {
+			fn(q)
+		}
+		return
+	}
+	evs = make([]event, 0, len(q.Apps)+1)
 	evs = append(evs, event{
 		Name: "attribution", Ph: "i", S: "g", Cat: "attribution",
 		Ts: float64(q.EndCycle) / cyclesPerMicro, Pid: 0, Tid: 0,
@@ -330,9 +366,15 @@ func (t *Tracer) Quantum(q QuantumAttribution) {
 		})
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.quanta = append(t.quanta, q)
 	t.emitLocked(evs...)
+	fn := t.onQuantum
+	t.mu.Unlock()
+	// The live subscriber runs outside the lock so a slow consumer can
+	// never serialize against concurrent span emission.
+	if fn != nil {
+		fn(q)
+	}
 }
 
 // Quanta returns the retained per-quantum attribution series (nil for a
@@ -366,6 +408,9 @@ func (t *Tracer) Close() error {
 	defer t.mu.Unlock()
 	if !t.closed {
 		t.closed = true
+		if t.bw == nil {
+			return t.err
+		}
 		if _, werr := t.bw.WriteString("\n]}\n"); t.err == nil && werr != nil {
 			t.err = fmt.Errorf("evtrace: %w", werr)
 		}

@@ -1,6 +1,9 @@
 package evtrace
 
-import "math"
+import (
+	"math"
+	"strings"
+)
 
 // ScaleRows converts an integer attribution matrix (victim-major: raw[j][i]
 // is the unscaled interference cycles cause i inflicted on victim j) into
@@ -152,6 +155,21 @@ func Summarize(quanta []QuantumAttribution) Summary {
 	return s
 }
 
+// SplitByApp groups a mixed attribution series by its app-name set.
+// When several single-app alone-run replicas share one tracer (span
+// export for ground-truth replays), their per-quantum snapshots
+// interleave in emission order; grouping by the Apps fingerprint
+// recovers one coherent series per replica, each summarizable on its
+// own. The fingerprint joins app names with "+", matching workload.Mix.
+func SplitByApp(quanta []QuantumAttribution) map[string][]QuantumAttribution {
+	out := map[string][]QuantumAttribution{}
+	for _, q := range quanta {
+		key := strings.Join(q.Apps, "+")
+		out[key] = append(out[key], q)
+	}
+	return out
+}
+
 // CPIStack is one application's cycles-per-instruction decomposition over
 // a traced window: compute (everything not memory-stalled), memory time
 // the app would also have spent alone, and the two interference
@@ -173,6 +191,23 @@ type CPIStack struct {
 // requests can exceed, so each component is capped by what remains of
 // the stall budget.
 func (s Summary) CPIStacks() []CPIStack {
+	return s.cpiStacks(nil)
+}
+
+// CPIStacksMeasured derives per-app CPI stacks with the mem-alone
+// segment *measured* from traced alone-run replays instead of derived by
+// subtraction: alone maps each app name (the SplitByApp fingerprint of a
+// single-app replica) to its summarized alone-run series, and the
+// replica's memory-stall cycles per retired instruction — replayed over
+// the same instruction stream — are scaled to the shared run's retired
+// count. Apps with no alone summary (or one that retired nothing) fall
+// back to the derived segment. Model premise made testable: the measured
+// and derived segments should agree up to attribution clamping error.
+func (s Summary) CPIStacksMeasured(alone map[string]Summary) []CPIStack {
+	return s.cpiStacks(alone)
+}
+
+func (s Summary) cpiStacks(aloneSums map[string]Summary) []CPIStack {
 	out := make([]CPIStack, len(s.AppStats))
 	for j, st := range s.AppStats {
 		cs := CPIStack{Name: st.Name}
@@ -191,6 +226,19 @@ func (s Summary) CPIStacks() []CPIStack {
 				cache = stall - mem
 			}
 			alone := stall - mem - cache
+			if as, ok := aloneSums[st.Name]; ok && len(as.AppStats) > 0 {
+				ast := as.AppStats[0]
+				if ast.Retired > 0 && st.Retired > 0 {
+					// Alone memory time for the shared run's work: the
+					// replica's stall cycles per instruction times the shared
+					// retired count, clamped into the remaining stall budget.
+					measured := float64(ast.MemStallCycles) / float64(ast.Retired) * float64(st.Retired)
+					if measured > stall-mem-cache {
+						measured = stall - mem - cache
+					}
+					alone = measured
+				}
+			}
 			cs.Compute = (total - stall) / total
 			cs.MemAlone = alone / total
 			cs.CacheInterf = cache / total

@@ -1,0 +1,121 @@
+package evtrace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sinkQuantum(q int, apps []string) QuantumAttribution {
+	return QuantumAttribution{
+		Quantum: q, EndCycle: uint64(q+1) * 1000, Cycles: 1000,
+		Apps: apps,
+		AppStats: []AppQuantumStats{
+			{Name: apps[0], Retired: uint64(100 * (q + 1)), MemStallCycles: 50},
+		},
+	}
+}
+
+func TestSinkTracerRetainsAndForwards(t *testing.T) {
+	s := NewSink()
+	var seen []int
+	s.SetOnQuantum(func(q QuantumAttribution) { seen = append(seen, q.Quantum) })
+	s.BeginRun([]string{"a"}) // no-op for a sink beyond name retention
+	if s.SampleMiss() {
+		t.Fatal("a sink tracer must never sample spans")
+	}
+	s.MissSpan(MissSpan{App: 0}) // must not panic or write
+	for q := 0; q < 3; q++ {
+		s.Quantum(sinkQuantum(q, []string{"a"}))
+	}
+	if got := len(s.Quanta()); got != 3 {
+		t.Fatalf("retained %d quanta, want 3", got)
+	}
+	if !reflect.DeepEqual(seen, []int{0, 1, 2}) {
+		t.Fatalf("subscriber saw %v", seen)
+	}
+	// Unsubscribe stops the callbacks; retention continues.
+	s.SetOnQuantum(nil)
+	s.Quantum(sinkQuantum(3, []string{"a"}))
+	if len(seen) != 3 || len(s.Quanta()) != 4 {
+		t.Fatalf("after unsubscribe: seen=%d retained=%d", len(seen), len(s.Quanta()))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("sink Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSetOnQuantumNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.SetOnQuantum(func(QuantumAttribution) {}) // must not panic
+}
+
+// TestSinkQuantumAllocations bounds the sink path: retaining a snapshot
+// costs at most the slice append, never the trace-event construction.
+func TestSinkQuantumAllocations(t *testing.T) {
+	s := NewSink()
+	qs := make([]QuantumAttribution, 0, 4096)
+	s.mu.Lock()
+	s.quanta = qs // pre-size so append does not grow mid-measurement
+	s.mu.Unlock()
+	q := sinkQuantum(0, []string{"a"})
+	allocs := testing.AllocsPerRun(100, func() { s.Quantum(q) })
+	if allocs != 0 {
+		t.Fatalf("sink Quantum allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestSplitByApp(t *testing.T) {
+	series := []QuantumAttribution{
+		sinkQuantum(0, []string{"mcf"}),
+		sinkQuantum(0, []string{"lbm"}),
+		sinkQuantum(1, []string{"mcf"}),
+		sinkQuantum(0, []string{"mcf", "lbm"}),
+		sinkQuantum(1, []string{"lbm"}),
+	}
+	got := SplitByApp(series)
+	if len(got) != 3 {
+		t.Fatalf("split into %d groups, want 3", len(got))
+	}
+	if len(got["mcf"]) != 2 || got["mcf"][0].Quantum != 0 || got["mcf"][1].Quantum != 1 {
+		t.Fatalf("mcf series = %+v", got["mcf"])
+	}
+	if len(got["lbm"]) != 2 {
+		t.Fatalf("lbm series = %+v", got["lbm"])
+	}
+	if len(got["mcf+lbm"]) != 1 {
+		t.Fatalf("mixed series = %+v", got["mcf+lbm"])
+	}
+	if SplitByApp(nil) == nil {
+		t.Fatal("SplitByApp(nil) must return an empty map, not nil")
+	}
+}
+
+// TestOnQuantumWithFileTracer: the subscriber also fires on a full
+// file-writing tracer, after the events are emitted.
+func TestOnQuantumWithFileTracer(t *testing.T) {
+	var sink []QuantumAttribution
+	var buf writerBuffer
+	tr := New(&buf, Config{SampleEvery: 1})
+	tr.SetOnQuantum(func(q QuantumAttribution) { sink = append(sink, q) })
+	tr.Quantum(sinkQuantum(0, []string{"a"}))
+	tr.Quantum(sinkQuantum(1, []string{"a"}))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink) != 2 || sink[1].Quantum != 1 {
+		t.Fatalf("subscriber saw %+v", sink)
+	}
+	if len(buf.data) == 0 {
+		t.Fatal("file tracer wrote nothing")
+	}
+}
+
+type writerBuffer struct{ data []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}

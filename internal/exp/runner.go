@@ -96,8 +96,8 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		return nil, err
 	}
 	sys.SetTelemetry(sc.Telemetry.Metrics)
-	if sc.Trace != nil {
-		sys.SetTracer(sc.Trace)
+	if tr := sc.Dash.AttachTracer(sc.Trace); tr != nil {
+		sys.SetTracer(tr)
 	}
 	sc.AloneCache.SetTelemetry(sc.Telemetry.Metrics.Scope("sim"))
 	tracker, err := sim.NewSlowdownTrackerShared(cfg, specs, sc.AloneCache)
@@ -105,7 +105,7 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		return nil, err
 	}
 	ests := newEst()
-	rec := sc.Telemetry.Recorder
+	rec := sc.Dash.WrapRecorder(sc.Telemetry.Recorder)
 	// The estimates map and samples slice are reused/pre-sized across
 	// quanta: only the small per-sample Est maps are allocated per
 	// quantum (they escape into the returned samples).
@@ -247,8 +247,8 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 		return PolicyOutcome{}, err
 	}
 	sys.SetTelemetry(sc.Telemetry.Metrics)
-	if sc.Trace != nil {
-		sys.SetTracer(sc.Trace)
+	if tr := sc.Dash.AttachTracer(sc.Trace); tr != nil {
+		sys.SetTracer(tr)
 	}
 	if scheme.Attach != nil {
 		scheme.Attach(sys)
@@ -268,7 +268,7 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 	n := len(specs)
 	invSum := make([]float64, n) // sum of 1/slowdown per quantum
 	count := 0
-	rec := sc.Telemetry.Recorder
+	rec := sc.Dash.WrapRecorder(sc.Telemetry.Recorder)
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		actual := tracker.ActualSlowdowns(st)
 		if rec != nil {

@@ -3,6 +3,7 @@ package exp
 import (
 	"time"
 
+	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
 	"asmsim/internal/faults"
 	"asmsim/internal/sim"
@@ -53,6 +54,11 @@ type Scale struct {
 	// the caller owns it and must Close it. nil (the default) disables
 	// tracing at zero cost.
 	Trace *evtrace.Tracer
+	// Dash, when non-nil, streams the sweep live over HTTP: quantum
+	// records fan out to connected SSE clients and every run's
+	// attribution snapshots feed the dashboard (even with Trace nil).
+	// nil disables the dashboard at zero cost.
+	Dash *dash.Server
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`

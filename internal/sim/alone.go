@@ -1,6 +1,9 @@
 package sim
 
-import "asmsim/internal/workload"
+import (
+	"asmsim/internal/evtrace"
+	"asmsim/internal/workload"
+)
 
 // AloneProfile computes the ground-truth alone-run cycle counts for one
 // application: the cycles the app needs to retire a given number of
@@ -114,6 +117,31 @@ func NewSlowdownTrackerFromSourcesShared(cfg Config, apps []AppSource, cache *Al
 		t.profiles[i] = p
 	}
 	return t, nil
+}
+
+// AttachAloneTracer wires tr into every private alone-run replica so the
+// ground-truth replays export the same span/attribution telemetry as the
+// shared run (under the same sampling knob), letting the CPI-stack
+// "mem-alone" segment be measured from the replay instead of derived by
+// subtraction (evtrace.Summary.CPIStacksMeasured). Each replica is a
+// single-app system, so its per-quantum snapshots carry a one-element
+// Apps set; when several replicas share one tracer the interleaved
+// series is recovered per app with evtrace.SplitByApp. Slots served from
+// a shared curve cache have no replica to trace and are skipped; the
+// number of replicas actually traced is returned (0 with a fully cached
+// tracker or a nil tracer). Call before the first ActualSlowdowns.
+func (t *SlowdownTracker) AttachAloneTracer(tr *evtrace.Tracer) int {
+	if t == nil || tr == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range t.profiles {
+		if p != nil {
+			p.sys.SetTracer(tr)
+			n++
+		}
+	}
+	return n
 }
 
 // cyclesAt answers slot a's milestone query from its cursor or replica.

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,23 +13,34 @@ import (
 	"time"
 )
 
+// shutdownGrace bounds how long Stop waits for in-flight HTTP requests
+// (pprof downloads, dashboard polls) to drain before forcing the
+// listener closed. Long-lived streams (SSE) are expected to be torn down
+// by their own subsystem (e.g. dash.Server.Close) before Stop runs.
+const shutdownGrace = 5 * time.Second
+
 // Profiler manages the runtime profiling hooks both CLIs expose: a CPU
-// profile, a heap profile written at stop, and an optional
-// net/http/pprof server for live inspection of long sweeps.
+// profile, a heap profile written at stop, and an optional HTTP server
+// that serves net/http/pprof plus any additional handlers mounted at
+// start (the live dashboard rides on this listener).
 type Profiler struct {
-	cpuFile *os.File
-	memPath string
-	srv     *http.Server
-	ln      net.Listener
+	cpuFile  *os.File
+	memPath  string
+	srv      *http.Server
+	ln       net.Listener
+	serveErr chan error // buffered; the serve goroutine's terminal error
 }
 
 // StartProfiler starts the requested profiling hooks; empty arguments
-// disable the corresponding hook (all empty returns a nil Profiler,
-// whose Stop is a no-op). The CPU profile starts immediately; the heap
-// profile is captured when Stop runs; pprofAddr (e.g. "localhost:6060")
-// serves /debug/pprof/ until Stop.
-func StartProfiler(cpuPath, memPath, pprofAddr string) (*Profiler, error) {
-	if cpuPath == "" && memPath == "" && pprofAddr == "" {
+// disable the corresponding hook (all empty with no mounts returns a nil
+// Profiler, whose Stop is a no-op). The CPU profile starts immediately;
+// the heap profile is captured when Stop runs; addr (e.g.
+// "localhost:6060") serves /debug/pprof/ until Stop. Each mount function
+// is called with the server's mux before it starts serving, so other
+// observability layers (the /debug/asm/ dashboard) can register their
+// handlers on the same listener instead of hard-coding routes here.
+func StartProfiler(cpuPath, memPath, addr string, mounts ...func(mux *http.ServeMux)) (*Profiler, error) {
+	if cpuPath == "" && memPath == "" && addr == "" {
 		return nil, nil
 	}
 	p := &Profiler{memPath: memPath}
@@ -42,8 +55,8 @@ func StartProfiler(cpuPath, memPath, pprofAddr string) (*Profiler, error) {
 		}
 		p.cpuFile = f
 	}
-	if pprofAddr != "" {
-		ln, err := net.Listen("tcp", pprofAddr)
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			p.stopCPU()
 			return nil, fmt.Errorf("telemetry: pprof server: %w", err)
@@ -54,15 +67,28 @@ func StartProfiler(cpuPath, memPath, pprofAddr string) (*Profiler, error) {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		for _, mount := range mounts {
+			if mount != nil {
+				mount(mux)
+			}
+		}
 		p.ln = ln
 		p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-		go p.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+		p.serveErr = make(chan error, 1)
+		go func() {
+			// Serve's terminal error is surfaced by Stop; ErrServerClosed is
+			// the expected shutdown path, not a failure.
+			if err := p.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				p.serveErr <- fmt.Errorf("telemetry: pprof server: %w", err)
+			}
+			close(p.serveErr)
+		}()
 	}
 	return p, nil
 }
 
-// PprofAddr returns the pprof server's bound address (useful with
-// ":0"), or "" when no server runs.
+// PprofAddr returns the HTTP server's bound address (useful with ":0"),
+// or "" when no server runs.
 func (p *Profiler) PprofAddr() string {
 	if p == nil || p.ln == nil {
 		return ""
@@ -79,7 +105,10 @@ func (p *Profiler) stopCPU() {
 }
 
 // Stop stops the CPU profile, writes the heap profile, and shuts the
-// pprof server down. Safe on a nil Profiler and idempotent.
+// HTTP server down gracefully: in-flight requests get shutdownGrace to
+// drain before the listener is forced closed, and the serve goroutine's
+// terminal error (a crashed listener mid-run) is surfaced instead of
+// dropped. Safe on a nil Profiler and idempotent.
 func (p *Profiler) Stop() error {
 	if p == nil {
 		return nil
@@ -102,11 +131,25 @@ func (p *Profiler) Stop() error {
 		p.memPath = ""
 	}
 	if p.srv != nil {
-		if err := p.srv.Close(); err != nil && first == nil {
-			first = fmt.Errorf("telemetry: pprof server: %w", err)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		err := p.srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			// Drain deadline exceeded (a stuck or streaming handler):
+			// force-close the remaining connections.
+			if cerr := p.srv.Close(); cerr != nil && first == nil {
+				first = fmt.Errorf("telemetry: pprof server: %w", cerr)
+			}
+			if first == nil {
+				first = fmt.Errorf("telemetry: pprof server shutdown: %w", err)
+			}
+		}
+		if serr := <-p.serveErr; serr != nil && first == nil {
+			first = serr
 		}
 		p.srv = nil
 		p.ln = nil
+		p.serveErr = nil
 	}
 	return first
 }

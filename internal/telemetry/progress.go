@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -118,6 +119,44 @@ func (p *Progress) maybePrint(force bool) {
 		fmt.Fprintf(&b, ", running %s", running)
 	}
 	fmt.Fprintln(p.w, b.String())
+}
+
+// ProgressState is a point-in-time snapshot of a sweep's progress,
+// consumable by observers beyond the stderr line printer (the live
+// dashboard's /debug/asm/progress endpoint serves it as JSON).
+type ProgressState struct {
+	Label     string   `json:"label"`
+	Total     int      `json:"total"`
+	Done      int      `json:"done"`
+	Failed    int      `json:"failed"`
+	Running   []string `json:"running,omitempty"` // sorted item names
+	ElapsedNs int64    `json:"elapsed_ns"`
+	ETANs     int64    `json:"eta_ns"` // 0 when not extrapolatable
+}
+
+// State snapshots the sweep's progress. A nil *Progress snapshots zero.
+func (p *Progress) State() ProgressState {
+	if p == nil {
+		return ProgressState{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	st := ProgressState{
+		Label:  p.label,
+		Total:  p.total,
+		Done:   p.done,
+		Failed: p.failed,
+		ETANs:  int64(p.eta(now)),
+	}
+	if !p.start.IsZero() {
+		st.ElapsedNs = int64(now.Sub(p.start))
+	}
+	for name := range p.current {
+		st.Running = append(st.Running, name)
+	}
+	sort.Strings(st.Running)
+	return st
 }
 
 // eta extrapolates the remaining wall time from the pace so far.

@@ -236,6 +236,70 @@ func (r *CSVRecorder) Close() error {
 	return r.err
 }
 
+// Sink fans one quantum-record stream out to several recorders: the
+// disk recorder (JSONL/CSV) and a live dashboard broadcaster can both
+// subscribe to the same stream without either knowing about the other.
+// A nil *Sink is a no-op Recorder; nil members are skipped.
+type Sink struct {
+	recs []Recorder
+}
+
+// NewSink bundles the given recorders (nils are dropped).
+func NewSink(recs ...Recorder) *Sink {
+	s := &Sink{}
+	for _, r := range recs {
+		if r != nil {
+			s.recs = append(s.recs, r)
+		}
+	}
+	return s
+}
+
+// Fanout returns a Recorder feeding every given recorder: nil when none
+// are non-nil, the recorder itself when exactly one is, and a Sink
+// otherwise. It is the allocation-conscious constructor for wiring
+// optional subscribers around an existing recorder.
+func Fanout(recs ...Recorder) Recorder {
+	var nonNil []Recorder
+	for _, r := range recs {
+		if r != nil {
+			nonNil = append(nonNil, r)
+		}
+	}
+	switch len(nonNil) {
+	case 0:
+		return nil
+	case 1:
+		return nonNil[0]
+	}
+	return &Sink{recs: nonNil}
+}
+
+// Record implements Recorder by forwarding to every member.
+func (s *Sink) Record(rec *QuantumRecord) {
+	if s == nil {
+		return
+	}
+	for _, r := range s.recs {
+		r.Record(rec)
+	}
+}
+
+// Close closes every member once and returns the first error.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	for _, r := range s.recs {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.recs = nil
+	return first
+}
+
 // Options bundles the optional observation hooks a run or sweep honors.
 // Every field may be nil; the zero value disables all observation.
 type Options struct {
