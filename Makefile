@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke trace-diff dash-smoke cover
+.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke trace-diff dash-smoke serve-smoke cover
 
 # check is the CI gate: build + vet + tests, then the race detector over
 # the concurrency-heavy packages (sweep workers, cluster rounds, faults,
-# shared telemetry/trace sinks), then the observability smoke tests and
-# the attribution regression gate.
-check: build vet test race trace-smoke trace-diff dash-smoke
+# shared telemetry/trace sinks, the job service), then the observability
+# smoke tests and the attribution regression gate.
+check: build vet test race trace-smoke trace-diff dash-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/... ./internal/dash/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/... ./internal/dash/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -61,6 +61,15 @@ dash-smoke:
 	$(GO) build -o $(CURDIR)/.dash-smoke-asmsim ./cmd/asmsim
 	$(GO) run ./cmd/dashsmoke -bin $(CURDIR)/.dash-smoke-asmsim
 	rm -f $(CURDIR)/.dash-smoke-asmsim
+
+# serve-smoke drills the job service end to end: start asmserve with a
+# state directory, submit a job twice (the second must be a cache hit),
+# SIGTERM it mid-job, then restart and verify the journal resumed the
+# interrupted job and the server drains cleanly again.
+serve-smoke:
+	$(GO) build -o $(CURDIR)/.serve-smoke-asmserve ./cmd/asmserve
+	$(GO) run ./cmd/servesmoke -bin $(CURDIR)/.serve-smoke-asmserve
+	rm -f $(CURDIR)/.serve-smoke-asmserve
 
 # cover prints per-package statement coverage.
 cover:

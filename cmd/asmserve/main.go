@@ -1,0 +1,166 @@
+// Command asmserve runs the simulation job service: a long-lived HTTP
+// server that accepts experiment jobs as JSON, executes them on a
+// bounded worker pool with admission control, memoizes full-run results
+// by canonical job fingerprint, and streams job lifecycle events plus
+// per-quantum records over SSE. With -state it journals every job to
+// disk, so a crashed or drained server resumes incomplete jobs on the
+// next start and answers completed ones from the on-disk cache.
+//
+// Usage:
+//
+//	asmserve -addr localhost:8080 -state /var/lib/asmserve
+//	curl -s localhost:8080/api/jobs -d '{"experiment":"fig2","workloads":2,"measured_quanta":1}'
+//	curl -s localhost:8080/api/jobs/job-1
+//	curl -s localhost:8080/api/jobs/job-1/result
+//	curl -N  localhost:8080/api/events
+//	curl -s localhost:8080/healthz
+//
+// The listener also serves the live dashboard (/debug/asm/) and pprof
+// (/debug/pprof/). SIGINT/SIGTERM drains gracefully: admissions stop
+// with 503, in-flight jobs get -drain-timeout to finish before being
+// cancelled mid-quantum and left resumable in the journal, and the
+// process exits 0.
+//
+// -faults injects deterministic service-layer chaos for drills, e.g.:
+//
+//	asmserve -state /tmp/st -faults seed=7,job-drop-prob=0.2,journal-fail-prob=0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"asmsim/internal/dash"
+	"asmsim/internal/faults"
+	"asmsim/internal/serve"
+	"asmsim/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "HTTP listen address (use :0 for an ephemeral port)")
+		state        = flag.String("state", "", "state directory for the job journal and result cache (empty = in-memory only)")
+		workers      = flag.Int("workers", 0, "concurrent job runners (0 = default)")
+		queue        = flag.Int("queue", 0, "admission queue depth; beyond it submissions are shed with 429 (0 = default)")
+		retries      = flag.Int("retries", 0, "retry budget per job for transient failures (0 = default, negative = none)")
+		retryBase    = flag.Duration("retry-base", 0, "exponential-backoff base between retries (0 = default)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
+		faultSpec    = flag.String("faults", "", "inject deterministic service faults: comma-separated key=value (seed, handler-latency-prob, handler-latency, job-drop-prob, journal-fail-prob)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fatal(fmt.Errorf("asmserve: -addr is required"))
+	}
+	fc, err := parseFaults(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Catch signals before anything is advertised: a SIGTERM arriving
+	// the instant the banner prints must still drain, not kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	dashSrv := dash.NewServer()
+	dashSrv.SetRegistry(reg)
+	srv, err := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Retries:      *retries,
+		RetryBase:    *retryBase,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+		StateDir:     *state,
+		Faults:       fc,
+		Metrics:      reg,
+		Dash:         dashSrv,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *addr, dashSrv.Mount, srv.Mount)
+	if err != nil {
+		fatal(err)
+	}
+	// LIFO: the dashboard broadcaster closes before the HTTP server
+	// stops, so its SSE handlers drain instead of hanging the shutdown.
+	defer prof.Stop()
+	defer dashSrv.Close()
+
+	bound := prof.PprofAddr()
+	fmt.Fprintf(os.Stderr, "asmserve: job service listening on http://%s/api/jobs\n", bound)
+	fmt.Fprintf(os.Stderr, "asmserve: dashboard on http://%s/debug/asm/, pprof on http://%s/debug/pprof/\n", bound, bound)
+	if *state != "" {
+		fmt.Fprintf(os.Stderr, "asmserve: journaling to %s\n", *state)
+	}
+	if resumed := countResumed(srv); resumed > 0 {
+		fmt.Fprintf(os.Stderr, "asmserve: resumed %d incomplete job(s) from the journal\n", resumed)
+	}
+
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+	fmt.Fprintf(os.Stderr, "asmserve: draining (up to %v)...\n", *drainTimeout)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fatal(fmt.Errorf("asmserve: drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "asmserve: drained cleanly")
+}
+
+func countResumed(srv *serve.Server) int {
+	n := 0
+	for _, st := range srv.Jobs() {
+		if st.Resumed {
+			n++
+		}
+	}
+	return n
+}
+
+// parseFaults turns "seed=7,job-drop-prob=0.2" into a faults.Config.
+func parseFaults(s string) (faults.Config, error) {
+	var c faults.Config
+	if s == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("asmserve: -faults entry %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "handler-latency-prob":
+			c.HandlerLatencyProb, err = strconv.ParseFloat(v, 64)
+		case "handler-latency":
+			c.HandlerLatency, err = time.ParseDuration(v)
+		case "job-drop-prob":
+			c.JobDropProb, err = strconv.ParseFloat(v, 64)
+		case "journal-fail-prob":
+			c.JournalFailProb, err = strconv.ParseFloat(v, 64)
+		default:
+			return c, fmt.Errorf("asmserve: unknown -faults key %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("asmserve: -faults %s: %w", k, err)
+		}
+	}
+	return c, c.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

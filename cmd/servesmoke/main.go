@@ -1,0 +1,378 @@
+// Command servesmoke is the CI smoke test for the job service: it
+// launches a real asmserve with an on-disk state directory, submits a
+// job twice (the second answer must be a cache hit), verifies the SSE
+// stream opens, then SIGTERMs the server mid-job and checks that it
+// exits 0 within the drain window, that the journal left the
+// interrupted job resumable, and that a restarted server picks it up
+// and still answers health checks.
+//
+// Usage:
+//
+//	go build -o /tmp/asmserve ./cmd/asmserve
+//	go run ./cmd/servesmoke -bin /tmp/asmserve
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var addrRe = regexp.MustCompile(`job service listening on http://(\S+)/api/jobs`)
+
+// tinyJob finishes in well under a second; slowJob runs for seconds so
+// the smoke can SIGTERM the server mid-run.
+const (
+	tinyJob = `{"experiment":"fig2","workloads":2,"warmup_quanta":1,"measured_quanta":1,"quantum":200000,"seed":7}`
+	slowJob = `{"experiment":"fig2","workloads":2,"warmup_quanta":1,"measured_quanta":300,"quantum":200000,"seed":99}`
+)
+
+type jobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached"`
+	Resumed bool   `json:"resumed"`
+	Error   string `json:"error"`
+}
+
+func main() {
+	var (
+		bin     = flag.String("bin", "", "path to a built asmserve binary (required)")
+		timeout = flag.Duration("timeout", 120*time.Second, "overall smoke deadline")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke -bin /path/to/asmserve")
+		os.Exit(2)
+	}
+	if err := run(*bin, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: OK")
+}
+
+// child is one running asmserve with its scraped base URL.
+type child struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func start(bin, stateDir string) (*child, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state", stateDir,
+		"-workers", "1",
+		"-drain-timeout", "2s",
+	)
+	cmd.Stdout = os.Stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "  [asmserve] %s\n", line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &child{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("child never advertised the job service address")
+	}
+}
+
+// stop SIGTERMs the child and requires a clean (exit 0) drain within
+// the window.
+func (c *child) stop() error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal child: %w", err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- c.cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			return fmt.Errorf("child exited non-zero after SIGTERM: %v", err)
+		}
+		return nil
+	case <-time.After(15 * time.Second):
+		c.cmd.Process.Kill()
+		c.cmd.Wait()
+		return fmt.Errorf("child did not drain within 15s of SIGTERM")
+	}
+}
+
+func run(bin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stateDir, err := os.MkdirTemp("", "serve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+
+	c, err := start(bin, stateDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		c.cmd.Process.Kill()
+		c.cmd.Wait()
+	}()
+
+	if err := checkHealth(c.base, "ok"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	fmt.Println("  healthz      ok")
+
+	// First submission runs; the identical second one must be answered
+	// from the result cache with a bit-identical table.
+	first, err := submit(c.base, tinyJob, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if err := waitJob(c.base, first.ID, "done", deadline); err != nil {
+		return err
+	}
+	table1, err := result(c.base, first.ID)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	fmt.Println("  job run      ok")
+	second, err := submit(c.base, tinyJob, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if !second.Cached {
+		return fmt.Errorf("second submission was not a cache hit: %+v", second)
+	}
+	table2, err := result(c.base, second.ID)
+	if err != nil {
+		return fmt.Errorf("cached result: %w", err)
+	}
+	if !reflect.DeepEqual(table1, table2) {
+		return fmt.Errorf("cached result differs from the first run")
+	}
+	fmt.Println("  cache hit    ok")
+
+	if err := checkSSE(c.base); err != nil {
+		return fmt.Errorf("events SSE: %w", err)
+	}
+	fmt.Println("  events SSE   ok")
+
+	// SIGTERM mid-job: the server must drain within the window and exit
+	// 0, leaving the job resumable in the journal.
+	slow, err := submit(c.base, slowJob, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("slow submit: %w", err)
+	}
+	if err := waitJob(c.base, slow.ID, "running", deadline); err != nil {
+		return err
+	}
+	if err := c.stop(); err != nil {
+		return err
+	}
+	fmt.Println("  drain        ok")
+	if err := checkJournalResumable(stateDir, slow.ID); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	fmt.Println("  journal      ok")
+
+	// Restart over the same state: the interrupted job comes back and
+	// the server is healthy.
+	c2, err := start(bin, stateDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer func() {
+		c2.cmd.Process.Kill()
+		c2.cmd.Wait()
+	}()
+	st, err := getJob(c2.base, slow.ID)
+	if err != nil {
+		return fmt.Errorf("restarted server forgot job %s: %w", slow.ID, err)
+	}
+	if !st.Resumed {
+		return fmt.Errorf("job %s not resumed after restart: %+v", slow.ID, st)
+	}
+	if err := checkHealth(c2.base, "ok"); err != nil {
+		return fmt.Errorf("restart healthz: %w", err)
+	}
+	fmt.Println("  recovery     ok")
+	// And it drains cleanly again, now with the resumed job in flight.
+	if err := c2.stop(); err != nil {
+		return fmt.Errorf("second drain: %w", err)
+	}
+	fmt.Println("  re-drain     ok")
+	return nil
+}
+
+func submit(base, body string, want int) (jobStatus, error) {
+	resp, err := http.Post(base+"/api/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	if resp.StatusCode != want {
+		return st, fmt.Errorf("status %d (want %d): %+v", resp.StatusCode, want, st)
+	}
+	return st, nil
+}
+
+func getJob(base, id string) (jobStatus, error) {
+	resp, err := http.Get(base + "/api/jobs/" + id)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobStatus{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st jobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func waitJob(base, id, state string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		st, err := getJob(base, id)
+		if err != nil {
+			return err
+		}
+		if st.State == state {
+			return nil
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			return fmt.Errorf("job %s ended %s (%s) while waiting for %s", id, st.State, st.Error, state)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s never reached %s", id, state)
+}
+
+func result(base, id string) (map[string]any, error) {
+	resp, err := http.Get(base + "/api/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var t map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return nil, err
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("empty result table")
+	}
+	return t, nil
+}
+
+func checkHealth(base, want string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if h.Status != want || h.Workers == 0 {
+		return fmt.Errorf("health %+v, want status %q", h, want)
+	}
+	return nil
+}
+
+// checkSSE opens the event stream and reads the preamble, proving the
+// endpoint streams.
+func checkSSE(base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/api/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	buf := make([]byte, 64)
+	n, err := resp.Body.Read(buf)
+	if err != nil && n == 0 {
+		return fmt.Errorf("no preamble: %w", err)
+	}
+	if !bytes.Contains(buf[:n], []byte("retry:")) {
+		return fmt.Errorf("unexpected preamble %q", buf[:n])
+	}
+	return nil
+}
+
+// checkJournalResumable scans the JSONL journal for the job: it must
+// have submitted and started events but no terminal one.
+func checkJournalResumable(stateDir, id string) error {
+	f, err := os.Open(filepath.Join(stateDir, "journal.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var submitted, started bool
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Event string `json:"event"`
+			ID    string `json:"id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		if e.ID != id {
+			continue
+		}
+		switch e.Event {
+		case "submitted":
+			submitted = true
+		case "started":
+			started = true
+		case "done", "failed", "cancelled":
+			return fmt.Errorf("interrupted job %s has terminal event %q", id, e.Event)
+		}
+	}
+	if !submitted || !started {
+		return errors.New("journal missing submitted/started events for the interrupted job")
+	}
+	return nil
+}

@@ -57,19 +57,32 @@ func NewBroadcaster() *Broadcaster {
 	return &Broadcaster{subs: map[*subscriber]struct{}{}}
 }
 
-// Record implements telemetry.Recorder: it renders rec as one SSE frame
-// and enqueues it to every subscriber. Nil-safe; free when nobody is
-// listening.
+// Record implements telemetry.Recorder: it renders rec as one
+// `event: quantum` SSE frame and enqueues it to every subscriber.
+// Nil-safe; free when nobody is listening.
 func (b *Broadcaster) Record(rec *telemetry.QuantumRecord) {
+	b.Publish("quantum", rec)
+}
+
+// Publish renders payload as one complete SSE frame under the given
+// event type and fans it out to every subscriber — the generic form of
+// Record, used by the job service to stream lifecycle events next to
+// quantum records. The whole frame is a single buffer handed to each
+// subscriber channel, so a consumer either sees a frame in full or not
+// at all (drop-oldest never truncates). Nil-safe; with zero subscribers
+// it returns after one atomic load, allocating nothing.
+func (b *Broadcaster) Publish(event string, payload any) {
 	if b == nil || b.nsubs.Load() == 0 {
 		return
 	}
-	j, err := json.Marshal(rec)
+	j, err := json.Marshal(payload)
 	if err != nil {
 		return
 	}
-	frame := make([]byte, 0, len(j)+24)
-	frame = append(frame, "event: quantum\ndata: "...)
+	frame := make([]byte, 0, len(j)+len(event)+16)
+	frame = append(frame, "event: "...)
+	frame = append(frame, event...)
+	frame = append(frame, "\ndata: "...)
 	frame = append(frame, j...)
 	frame = append(frame, '\n', '\n')
 	b.mu.Lock()

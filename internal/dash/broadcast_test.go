@@ -2,6 +2,8 @@ package dash
 
 import (
 	"bytes"
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 
@@ -181,4 +183,36 @@ func BenchmarkRecordNilBroadcaster(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bc.Record(r)
 	}
+}
+
+// TestBroadcasterPublishEventTypes: Publish frames carry the caller's
+// event type and full JSON payload, interleaving with quantum frames on
+// the same subscription.
+func TestBroadcasterPublishEventTypes(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	b.Publish("job", map[string]string{"id": "job-1", "state": "running"})
+	b.Record(&telemetry.QuantumRecord{Mix: "m", Bench: "mcf"})
+
+	frame := string(<-ch)
+	if !strings.HasPrefix(frame, "event: job\ndata: ") || !strings.HasSuffix(frame, "\n\n") {
+		t.Fatalf("malformed job frame: %q", frame)
+	}
+	var job map[string]string
+	payload := strings.TrimSuffix(strings.TrimPrefix(frame, "event: job\ndata: "), "\n\n")
+	if err := json.Unmarshal([]byte(payload), &job); err != nil {
+		t.Fatalf("job payload not JSON: %v", err)
+	}
+	if job["id"] != "job-1" || job["state"] != "running" {
+		t.Fatalf("job payload = %v", job)
+	}
+	if frame := string(<-ch); !strings.HasPrefix(frame, "event: quantum\ndata: ") {
+		t.Fatalf("quantum frame after publish: %q", frame)
+	}
+	// Nil-safe and free with no subscribers.
+	var nb *Broadcaster
+	nb.Publish("job", struct{}{})
+	cancel()
+	b.Publish("job", struct{}{})
 }

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"asmsim/internal/faults"
+)
+
+// tinyJob is a fast end-to-end job spec used across the job and serve
+// tests: a 2-mix fig6-style sweep finishing in well under a second.
+func tinyJob() JobSpec {
+	return JobSpec{
+		Experiment:     "fig2",
+		Workloads:      2,
+		WarmupQuanta:   1,
+		MeasuredQuanta: 1,
+		Quantum:        200_000,
+		Seed:           7,
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	if err := tinyJob().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]JobSpec{
+		"unknown experiment": {Experiment: "nonesuch"},
+		"negative workloads": func() JobSpec { j := tinyJob(); j.Workloads = -1; return j }(),
+		"negative timeout":   func() JobSpec { j := tinyJob(); j.RunTimeoutMS = -5; return j }(),
+		"bad quantum/epoch":  func() JobSpec { j := tinyJob(); j.Quantum = 999; j.Epoch = 1000; return j }(),
+		"bad faults":         func() JobSpec { j := tinyJob(); j.Faults = faults.Config{EvalFailProb: 2}; return j }(),
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s: spec %+v accepted", name, bad)
+		}
+	}
+}
+
+// TestJobSpecFingerprint: equal resolved jobs fingerprint equally —
+// including specs that spell the same job differently — and any
+// result-relevant knob changes the fingerprint.
+func TestJobSpecFingerprint(t *testing.T) {
+	base := tinyJob()
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	// An explicit override equal to the base default is the same job.
+	explicit := base
+	explicit.Epoch = Quick().Epoch
+	if explicit.Fingerprint() != base.Fingerprint() {
+		t.Fatal("resolved-equal specs fingerprint differently")
+	}
+	mutations := map[string]func(*JobSpec){
+		"experiment": func(j *JobSpec) { j.Experiment = "fig3" },
+		"workloads":  func(j *JobSpec) { j.Workloads = 3 },
+		"warmup":     func(j *JobSpec) { j.WarmupQuanta = 2 },
+		"measured":   func(j *JobSpec) { j.MeasuredQuanta = 2 },
+		"quantum":    func(j *JobSpec) { j.Quantum = 400_000 },
+		"epoch":      func(j *JobSpec) { j.Epoch = 20_000 },
+		"seed":       func(j *JobSpec) { j.Seed = 8 },
+		"timeout":    func(j *JobSpec) { j.RunTimeoutMS = 60_000 },
+		"faults":     func(j *JobSpec) { j.Faults = faults.Config{Seed: 1, EvalFailProb: 0.5} },
+	}
+	for name, mutate := range mutations {
+		m := base
+		mutate(&m)
+		if m.Fingerprint() == base.Fingerprint() {
+			t.Fatalf("%s change did not change the fingerprint", name)
+		}
+	}
+	// Full changes the fingerprint of a spec that inherits the base
+	// scale — but NOT of one that overrides every knob Full touches
+	// (resolved-equal jobs are the same job).
+	bare := JobSpec{Experiment: "fig2"}
+	fullBare := bare
+	fullBare.Full = true
+	if fullBare.Fingerprint() == bare.Fingerprint() {
+		t.Fatal("full-scale base did not change a bare spec's fingerprint")
+	}
+	fullTiny := base
+	fullTiny.Full = true
+	if fullTiny.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fully-overridden spec's fingerprint depends on the inherited base")
+	}
+}
+
+// TestJobSpecJSONRoundTrip: the journal and the HTTP API depend on
+// specs surviving JSON without losing identity.
+func TestJobSpecJSONRoundTrip(t *testing.T) {
+	j := tinyJob()
+	j.RunTimeoutMS = 30_000
+	j.Faults = faults.Config{Seed: 3, EvalFailProb: 0.25}
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, back) {
+		t.Fatalf("round trip changed the spec:\n %+v\n %+v", j, back)
+	}
+	if back.Fingerprint() != j.Fingerprint() {
+		t.Fatal("round trip changed the fingerprint")
+	}
+}
+
+// TestJobSpecRunMatchesDirect: JobSpec.Run is exactly the in-process
+// experiment run of the resolved scale — the identity the service's
+// result cache extends across processes.
+func TestJobSpecRunMatchesDirect(t *testing.T) {
+	job := tinyJob()
+	viaJob, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ByID(job.Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Run(context.Background(), job.Scale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaJob, direct) {
+		t.Fatalf("job run differs from direct run:\n%v\nvs\n%v", viaJob, direct)
+	}
+}
+
+// TestJobSpecRunHonorsCancellation: a cancelled job stops promptly and
+// surfaces the context error.
+func TestJobSpecRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tinyJob().Run(ctx); err == nil {
+		t.Fatal("cancelled job returned no error")
+	}
+}

@@ -46,16 +46,12 @@ func (s Sample) Error(estimator string) (float64, bool) {
 // (estimators carry per-run state such as previous-quantum fallbacks).
 type EstimatorSet func() []core.Estimator
 
-// runQuanta advances sys one quantum at a time, honoring cancellation
-// between quanta so a stuck or abandoned sweep returns promptly.
+// runQuanta advances sys under ctx. Cancellation propagates into the
+// simulator's cycle loop (sim.RunQuantaCtx), so a cancelled or expired
+// run stops within a few thousand cycles — mid-quantum — rather than
+// finishing its current quantum or its whole sweep item.
 func runQuanta(ctx context.Context, sys *sim.System, n int) error {
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		sys.RunQuanta(1)
-	}
-	return nil
+	return sys.RunQuantaCtx(ctx, n)
 }
 
 // withRunTimeout applies the scale's per-run timeout, when set.

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"asmsim/internal/rng"
 	"asmsim/internal/sim"
@@ -39,6 +40,10 @@ const (
 	Corruption
 	// Outage is a transient whole-machine outage.
 	Outage
+	// JobDrop is an admitted service job vanishing before it runs.
+	JobDrop
+	// JournalWrite is a failed append to the service's job journal.
+	JournalWrite
 )
 
 // String names the fault kind.
@@ -52,6 +57,10 @@ func (k Kind) String() string {
 		return "counter corruption"
 	case Outage:
 		return "machine outage"
+	case JobDrop:
+		return "job drop"
+	case JournalWrite:
+		return "journal write failure"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -89,6 +98,22 @@ type Config struct {
 	// OutageRounds is how many rounds an outage lasts (0 selects 1).
 	OutageRounds int
 
+	// Service-layer chaos knobs (the simulation-as-a-service paths).
+	// Each is a per-site probability in [0, 1], like the knobs above.
+
+	// HandlerLatencyProb injects artificial latency into an HTTP
+	// handler invocation; HandlerLatency is the injected delay
+	// (0 selects 5ms).
+	HandlerLatencyProb float64
+	HandlerLatency     time.Duration
+	// JobDropProb makes an admitted job vanish before it runs, the
+	// service-layer analogue of a worker crash between dequeue and
+	// execution. Dropped jobs exercise the retry path.
+	JobDropProb float64
+	// JournalFailProb makes one append to the job journal fail, so
+	// recovery and degraded-durability paths can be drilled.
+	JournalFailProb float64
+
 	// FailAttempts scripts deterministic failures: the first FailAttempts
 	// attempts of every matching evaluation fail regardless of
 	// EvalFailProb. Combined with Machines and Rounds it pins a failure
@@ -105,7 +130,8 @@ type Config struct {
 // Enabled reports whether the configuration can inject anything.
 func (c Config) Enabled() bool {
 	return c.EvalFailProb > 0 || c.TimeoutProb > 0 || c.CorruptProb > 0 ||
-		c.OutageProb > 0 || c.FailAttempts > 0
+		c.OutageProb > 0 || c.FailAttempts > 0 ||
+		c.HandlerLatencyProb > 0 || c.JobDropProb > 0 || c.JournalFailProb > 0
 }
 
 // Validate reports a configuration error, or nil.
@@ -118,6 +144,9 @@ func (c Config) Validate() error {
 		{"TimeoutProb", c.TimeoutProb},
 		{"CorruptProb", c.CorruptProb},
 		{"OutageProb", c.OutageProb},
+		{"HandlerLatencyProb", c.HandlerLatencyProb},
+		{"JobDropProb", c.JobDropProb},
+		{"JournalFailProb", c.JournalFailProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s %v outside [0, 1]", p.name, p.v)
@@ -125,6 +154,9 @@ func (c Config) Validate() error {
 	}
 	if c.OutageRounds < 0 {
 		return fmt.Errorf("faults: negative OutageRounds %d", c.OutageRounds)
+	}
+	if c.HandlerLatency < 0 {
+		return fmt.Errorf("faults: negative HandlerLatency %v", c.HandlerLatency)
 	}
 	if c.FailAttempts < 0 {
 		return fmt.Errorf("faults: negative FailAttempts %d", c.FailAttempts)
@@ -226,6 +258,51 @@ func (in *Injector) OutageLen() int {
 		return 1
 	}
 	return in.cfg.OutageRounds
+}
+
+// defaultHandlerLatency is the injected handler delay when
+// HandlerLatencyProb fires and no explicit HandlerLatency is set.
+const defaultHandlerLatency = 5 * time.Millisecond
+
+// HandlerDelay decides whether an HTTP handler invocation at the given
+// site (method + path + a per-request discriminator) gains injected
+// latency, returning the delay or 0. The caller sleeps; the injector
+// only decides, so decisions stay pure functions of (seed, site).
+func (in *Injector) HandlerDelay(site string) time.Duration {
+	if in == nil || !in.roll("handlerlat/"+site, in.cfg.HandlerLatencyProb) {
+		return 0
+	}
+	if in.cfg.HandlerLatency > 0 {
+		return in.cfg.HandlerLatency
+	}
+	return defaultHandlerLatency
+}
+
+// DropJob decides whether an admitted job (keyed by its fingerprint and
+// attempt, so a retried job re-rolls) is dropped before running,
+// returning the injected fault or nil.
+func (in *Injector) DropJob(key string, attempt int) error {
+	if in == nil {
+		return nil
+	}
+	site := fmt.Sprintf("%s attempt %d", key, attempt)
+	if in.roll("jobdrop/"+site, in.cfg.JobDropProb) {
+		return &Fault{Kind: JobDrop, Site: site}
+	}
+	return nil
+}
+
+// FailJournalWrite decides whether the seq-th append to the job journal
+// fails, returning the injected fault or nil.
+func (in *Injector) FailJournalWrite(seq uint64) error {
+	if in == nil {
+		return nil
+	}
+	site := fmt.Sprintf("journal seq %d", seq)
+	if in.roll("journal/"+site, in.cfg.JournalFailProb) {
+		return &Fault{Kind: JournalWrite, Site: site}
+	}
+	return nil
 }
 
 // CorruptStats decides whether the counter snapshot for the given site and

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"asmsim/internal/faults"
+	"asmsim/internal/telemetry"
+)
+
+// TestChaos is the acceptance scenario: concurrent clients hammer a
+// small server configured with handler latency, job drops and journal
+// write failures all injected at once. The server may shed (429) or
+// reject (503) individual submissions, but it must never deadlock, and
+// every job it admits must terminate with either a result table
+// (possibly carrying a partial-results manifest) or an error — no job
+// may hang in queued/running forever.
+func TestChaos(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestServer(t, Options{
+		Workers:    2,
+		QueueDepth: 3,
+		Retries:    1,
+		RetryBase:  time.Millisecond,
+		StateDir:   t.TempDir(),
+		Metrics:    reg,
+		Faults: faults.Config{
+			Seed:               1234,
+			HandlerLatencyProb: 0.5,
+			HandlerLatency:     time.Millisecond,
+			JobDropProb:        0.4,
+			JournalFailProb:    0.25,
+		},
+	})
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const clients = 10
+	var (
+		mu       sync.Mutex
+		admitted []string
+		sheds    int
+		rejects  int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			spec := tinySpec(1000 + uint64(c)) // distinct seeds defeat dedup/cache
+			body, _ := json.Marshal(spec)
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				resp, err := http.Post(srv.URL+"/api/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st JobStatus
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					mu.Lock()
+					admitted = append(admitted, st.ID)
+					mu.Unlock()
+					return
+				case http.StatusTooManyRequests:
+					mu.Lock()
+					sheds++
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					mu.Lock()
+					rejects++
+					mu.Unlock()
+				default:
+					t.Errorf("client %d: unexpected status %d", c, resp.StatusCode)
+					return
+				}
+				time.Sleep(5 * time.Millisecond) // honor Retry-After in spirit
+			}
+			t.Errorf("client %d never admitted", c)
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	t.Logf("chaos: %d admitted after %d sheds + %d journal rejections", len(admitted), sheds, rejects)
+
+	// Every admitted job terminates; done jobs have retrievable tables.
+	for _, id := range admitted {
+		st := waitTerminal(t, s, id)
+		switch st.State {
+		case StateDone:
+			if _, err := s.Result(id); err != nil {
+				t.Fatalf("done job %s has no result: %v", id, err)
+			}
+		case StateFailed:
+			if st.Error == "" {
+				t.Fatalf("failed job %s carries no error", id)
+			}
+		default:
+			t.Fatalf("admitted job %s ended %s", id, st.State)
+		}
+	}
+	// The server is still healthy and responsive after the storm.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	json.NewDecoder(resp.Body).Decode(&h)
+	if resp.StatusCode != http.StatusOK || h.Running != 0 || h.Queued != 0 {
+		t.Fatalf("post-chaos health: code %d, %+v", resp.StatusCode, h)
+	}
+	if h.JournalErrors == 0 {
+		t.Fatal("chaos config injected no journal faults — the test lost its teeth")
+	}
+	// Drain cleanly with nothing in flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("post-chaos shutdown: %v", err)
+	}
+}

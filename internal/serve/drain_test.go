@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain is the shutdown acceptance scenario: with a job in
+// flight and an SSE client attached, Shutdown must (a) immediately
+// refuse new work with 503 + Retry-After, (b) return within the drain
+// window with the in-flight job stopped mid-quantum and left resumable
+// in the journal, and (c) end the SSE stream on a frame boundary — a
+// subscriber never sees a truncated frame.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{StateDir: dir, Workers: 1, DrainTimeout: 100 * time.Millisecond})
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, _ := json.Marshal(slowSpec(301))
+	resp, err := http.Post(srv.URL+"/api/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	waitState(t, s, st.ID, StateRunning)
+
+	// Attach an SSE client and collect everything it receives.
+	sseCtx, sseCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer sseCancel()
+	req, _ := http.NewRequestWithContext(sseCtx, http.MethodGet, srv.URL+"/api/events", nil)
+	sse, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	collected := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(sse.Body) // returns when the server closes the stream
+		collected <- b
+	}()
+
+	begin := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+
+	// Admissions stop immediately even while the drain is in progress.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Draining() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	refuse, err := http.Post(srv.URL+"/api/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuse.Body.Close()
+	if refuse.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", refuse.StatusCode)
+	}
+	if refuse.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v, far beyond the 100ms window", elapsed)
+	}
+	if got, _ := s.Status(st.ID); got.State != StateInterrupted {
+		t.Fatalf("in-flight job after drain: %+v", got)
+	}
+
+	// The journal marks the job resumable: submitted + started, no
+	// terminal event.
+	entries, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted, started, terminal bool
+	for _, e := range entries {
+		if e.ID != st.ID {
+			continue
+		}
+		switch {
+		case e.Event == evSubmitted:
+			submitted = true
+		case e.Event == evStarted:
+			started = true
+		case e.terminal():
+			terminal = true
+		}
+	}
+	if !submitted || !started || terminal {
+		t.Fatalf("journal after drain: submitted=%v started=%v terminal=%v", submitted, started, terminal)
+	}
+
+	// The SSE stream ended cleanly on a frame boundary.
+	data := <-collected
+	if len(data) == 0 {
+		t.Fatal("SSE client received nothing, not even the preamble")
+	}
+	if !bytes.HasSuffix(data, []byte("\n\n")) {
+		tail := data[max(0, len(data)-60):]
+		t.Fatalf("SSE stream ended mid-frame: ...%q", tail)
+	}
+	// The subscriber attached mid-run, so the lifecycle event it must
+	// see is the job's interruption — published before the broadcaster
+	// closed.
+	if !strings.Contains(string(data), `"state":"interrupted"`) {
+		t.Fatal("SSE client missed the interrupted lifecycle event")
+	}
+
+	// A restarted server resumes the interrupted job.
+	s2 := newTestServer(t, Options{StateDir: dir, Workers: 1})
+	got, err := s2.Status(st.ID)
+	if err != nil {
+		t.Fatalf("restarted server forgot the drained job: %v", err)
+	}
+	if !got.Resumed {
+		t.Fatalf("drained job not resumed after restart: %+v", got)
+	}
+	if _, err := s2.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s2, st.ID)
+}
+
+// TestDrainLeavesQueuedJobsResumable: jobs admitted but never started
+// when the drain begins stay journaled without terminal entries and
+// come back on the next start.
+func TestDrainLeavesQueuedJobsResumable(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{StateDir: dir, Workers: 1, QueueDepth: 2, DrainTimeout: 50 * time.Millisecond})
+	first, err := s.Submit(slowSpec(311))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	queued, err := s.Submit(slowSpec(312))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{first.ID, queued.ID} {
+		if got, _ := s.Status(id); got.State != StateInterrupted {
+			t.Fatalf("job %s after drain: %+v", id, got)
+		}
+	}
+	s2 := newTestServer(t, Options{StateDir: dir, Workers: 1})
+	resumed := 0
+	for _, st := range s2.Jobs() {
+		if st.Resumed {
+			resumed++
+			s2.Cancel(st.ID)
+		}
+	}
+	if resumed != 2 {
+		t.Fatalf("restart resumed %d jobs, want 2", resumed)
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"asmsim/internal/dash"
+	"asmsim/internal/exp"
+)
+
+// Mount registers the job API on mux. The signature matches
+// telemetry.StartProfiler's mount hooks, so the service shares the
+// profiler's listener alongside the dashboard:
+//
+//	POST   /api/jobs             submit a job (exp.JobSpec JSON)
+//	GET    /api/jobs             list all jobs
+//	GET    /api/jobs/{id}        one job's status
+//	GET    /api/jobs/{id}/result the finished job's table
+//	DELETE /api/jobs/{id}        cancel the job
+//	GET    /api/events           SSE: job lifecycle + quantum records
+//	GET    /healthz              liveness/readiness (503 while draining)
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.Handle("/api/jobs", s.withFaults("jobs", s.handleJobs))
+	mux.Handle("/api/jobs/", s.withFaults("job", s.handleJob))
+	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.Handle("/healthz", s.withFaults("healthz", s.handleHealthz))
+}
+
+// withFaults is the service's fault middleware: it injects the
+// configured handler latency (deterministically, per request ordinal)
+// before delegating. With no injector it is the handler itself.
+func (s *Server) withFaults(site string, h http.HandlerFunc) http.Handler {
+	if s.inj == nil {
+		return h
+	}
+	var seq atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := s.inj.HandlerDelay(fmt.Sprintf("%s/%d", site, seq.Add(1))); d > 0 {
+			time.Sleep(d)
+		}
+		h(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	case http.MethodPost:
+		var spec exp.JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job spec: %w", err))
+			return
+		}
+		st, err := s.Submit(spec)
+		switch {
+		case err == nil:
+			code := http.StatusAccepted
+			if st.Cached || st.Dedup {
+				code = http.StatusOK
+			}
+			writeJSON(w, code, st)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.DrainTimeout/time.Second)+1))
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrNotDurable):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case r.Method == http.MethodGet && sub == "":
+		st, err := s.Status(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case r.Method == http.MethodGet && sub == "result":
+		t, err := s.Result(id)
+		if err != nil {
+			code := http.StatusNotFound
+			if !errors.Is(err, ErrNotFound) {
+				code = http.StatusConflict // job exists, result not ready
+			}
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	case r.Method == http.MethodDelete && sub == "":
+		st, err := s.Cancel(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s %s not allowed", r.Method, r.URL.Path))
+	}
+}
+
+// handleEvents streams job lifecycle events and per-quantum records as
+// SSE. Frames arrive from the broadcaster as complete buffers, so a
+// client sees whole frames or nothing even across a server drain.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	ch, cancel := s.bc.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, "retry: 1000\n: job stream open\n\n")
+	fl.Flush()
+	for {
+		select {
+		case frame, open := <-ch:
+			if !open {
+				return // server drained; stream ends on a frame boundary
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status        string              `json:"status"` // ok | draining
+	Workers       int                 `json:"workers"`
+	QueueDepth    int                 `json:"queue_depth"`
+	Queued        int                 `json:"queued"`
+	Running       int                 `json:"running"`
+	Jobs          int                 `json:"jobs"`
+	CacheEntries  int                 `json:"cache_entries"`
+	JournalSeq    uint64              `json:"journal_seq"`
+	JournalErrors uint64              `json:"journal_errors"`
+	Broadcast     dash.BroadcastStats `json:"broadcast"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := Health{
+		Status:        "ok",
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.opts.QueueDepth,
+		Queued:        s.queuedN,
+		Running:       s.runningN,
+		Jobs:          len(s.jobs),
+		CacheEntries:  s.store.Len(),
+		JournalSeq:    s.journal.Seq(),
+		JournalErrors: s.journal.Errors(),
+		Broadcast:     s.bc.Stats(),
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"asmsim/internal/faults"
+)
+
+func TestJournalAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, entries, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	spec := tinySpec(1)
+	for _, e := range []Entry{
+		{Event: evSubmitted, ID: "job-1", Fingerprint: "fp1", Spec: &spec},
+		{Event: evStarted, ID: "job-1", Fingerprint: "fp1", Attempt: 1},
+		{Event: evDone, ID: "job-1", Fingerprint: "fp1", Partial: true},
+	} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+	if got[0].Spec == nil || !reflect.DeepEqual(*got[0].Spec, spec) {
+		t.Fatalf("spec did not round-trip: %+v", got[0].Spec)
+	}
+	if !got[2].terminal() || got[1].terminal() {
+		t.Fatal("terminal classification wrong")
+	}
+	// Reopen: sequence numbers continue past the existing log.
+	j2, entries, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(entries) != 3 || j2.Seq() != 3 {
+		t.Fatalf("reopen: %d entries, seq %d", len(entries), j2.Seq())
+	}
+	if err := j2.Append(Entry{Event: evCancelled, ID: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Seq() != 4 {
+		t.Fatalf("seq after reopen append = %d, want 4", j2.Seq())
+	}
+}
+
+// TestJournalTruncatedTail: a crash can cut the final line short; the
+// reader keeps everything before it.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Entry{Event: evSubmitted, ID: "job-1"})
+	j.Append(Entry{Event: evStarted, ID: "job-1", Attempt: 1})
+	j.Close()
+	f, err := os.OpenFile(journalPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"event":"done","id":"jo`) // torn write
+	f.Close()
+	got, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries past torn tail, want 2", len(got))
+	}
+	// A journal reopened over the torn tail keeps appending readable
+	// entries (the torn line stays, the reader just stops there).
+	j2, entries, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(entries) != 2 {
+		t.Fatalf("reopen read %d entries", len(entries))
+	}
+}
+
+// TestJournalInjectedFailureConsumesSeq: an injected journal fault
+// fails that append only; the next append gets a fresh sequence number
+// and a fresh fault roll, so one poisoned seq cannot wedge the log.
+func TestJournalInjectedFailureConsumesSeq(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(faults.Config{Seed: 1, JournalFailProb: 1})
+	j, _, err := OpenJournal(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Entry{Event: evSubmitted, ID: "job-1"}); err == nil {
+		t.Fatal("append with JournalFailProb=1 succeeded")
+	}
+	if j.Seq() != 1 || j.Errors() != 1 {
+		t.Fatalf("seq %d errors %d after injected failure", j.Seq(), j.Errors())
+	}
+	got, _ := ReadJournal(dir)
+	if len(got) != 0 {
+		t.Fatal("failed append reached the disk")
+	}
+}
+
+// TestRecoveryAnswersCompletedFromDisk: a restarted server knows every
+// finished job from the journal and serves its result from the on-disk
+// cache, bit-identical to a direct in-process run.
+func TestRecoveryAnswersCompletedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(201)
+	s1 := newTestServer(t, Options{StateDir: dir})
+	st, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s1, st.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Options{StateDir: dir})
+	got, err := s2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("recovered job state %+v", got)
+	}
+	table, err := s2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jsonNormalize(t, directRun(t, spec))
+	if !reflect.DeepEqual(table, want) {
+		t.Fatal("recovered result differs from direct run")
+	}
+	// A twin submitted to the restarted server is a pure cache hit.
+	st2, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("post-restart twin not cached: %+v", st2)
+	}
+}
+
+// TestRecoveryRerunsIncompleteJob is the crash-safety headline: a job
+// interrupted mid-run (no terminal journal entry — exactly what a
+// crash leaves behind) is re-enqueued by the next server start, runs to
+// completion, and its result is bit-identical to a direct run.
+func TestRecoveryRerunsIncompleteJob(t *testing.T) {
+	dir := t.TempDir()
+	spec := mediumSpec(211)
+	s1 := newTestServer(t, Options{StateDir: dir, Workers: 1, DrainTimeout: time.Millisecond})
+	st, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s1, st.ID, StateRunning)
+	// Drain with an immediate deadline: the run is cancelled mid-quantum
+	// and, like a crash, leaves no terminal entry in the journal.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s1.Status(st.ID); got.State != StateInterrupted {
+		t.Fatalf("drained job state %+v", got)
+	}
+	entries, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.ID == st.ID && e.terminal() {
+			t.Fatalf("interrupted job has terminal journal entry %+v", e)
+		}
+	}
+
+	s2 := newTestServer(t, Options{StateDir: dir})
+	got, err := s2.Status(st.ID)
+	if err != nil {
+		t.Fatalf("restarted server forgot the job: %v", err)
+	}
+	if !got.Resumed {
+		t.Fatalf("incomplete job not marked resumed: %+v", got)
+	}
+	fin := waitTerminal(t, s2, st.ID)
+	if fin.State != StateDone || fin.Partial {
+		t.Fatalf("resumed job finished %+v", fin)
+	}
+	table, err := s2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jsonNormalize(t, directRun(t, spec))
+	if !reflect.DeepEqual(jsonNormalize(t, table), want) {
+		t.Fatal("crash-resumed result differs from direct run")
+	}
+}
+
+// TestRecoveryKeepsTerminalHistory: failed and cancelled jobs survive a
+// restart as history, without being re-run.
+func TestRecoveryKeepsTerminalHistory(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{StateDir: dir, Workers: 1, Retries: -1})
+	bad := tinySpec(221)
+	bad.Faults = faults.Config{Seed: 1, EvalFailProb: 1}
+	fst, err := s1.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s1, fst.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s1.Shutdown(ctx)
+
+	s2 := newTestServer(t, Options{StateDir: dir})
+	got, err := s2.Status(fst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || got.Error == "" {
+		t.Fatalf("failed job not recovered as failed: %+v", got)
+	}
+	if got.Resumed {
+		t.Fatal("terminal job marked for re-run")
+	}
+	// New submissions on the restarted server allocate fresh ids beyond
+	// the journal's.
+	st2, err := s2.Submit(tinySpec(222))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == fst.ID {
+		t.Fatal("restarted server reused a journaled job id")
+	}
+	waitTerminal(t, s2, st2.ID)
+}

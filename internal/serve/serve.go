@@ -1,0 +1,784 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"asmsim/internal/dash"
+	"asmsim/internal/exp"
+	"asmsim/internal/faults"
+	"asmsim/internal/rng"
+	"asmsim/internal/telemetry"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	// StateCancelled means a client cancelled the job (DELETE); a run
+	// already in flight keeps whatever partial results it had gathered.
+	StateCancelled State = "cancelled"
+	// StateInterrupted means a drain stopped the job mid-run. The
+	// journal deliberately records no terminal event for it, so the next
+	// server start re-runs it from its submitted entry.
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state ends a job's life in this process.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// JobStatus is the client-visible view of one job.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	Fingerprint string      `json:"fingerprint"`
+	State       State       `json:"state"`
+	Spec        exp.JobSpec `json:"spec"`
+	// Cached marks a job answered from the full-run result cache
+	// without simulating anything.
+	Cached bool `json:"cached,omitempty"`
+	// Dedup marks a submit response that attached to an identical job
+	// already queued or running (single-flight); the ID is that job's.
+	Dedup bool `json:"dedup,omitempty"`
+	// Resumed marks a job re-enqueued from the journal after a restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// Attempts counts run attempts, retries included.
+	Attempts int `json:"attempts,omitempty"`
+	// Partial marks a done job whose table carries a partial-results
+	// manifest (some sweep items failed or the run was cut short).
+	Partial bool `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// job is the server's internal record. status and the fields below it
+// are guarded by Server.mu; done closes exactly once, when the job
+// reaches a terminal state.
+type job struct {
+	status     JobStatus
+	cancel     context.CancelFunc // set while running
+	userCancel bool               // a client asked for cancellation
+	result     *exp.Table         // set before done closes
+	done       chan struct{}
+}
+
+// Options configures a Server. The zero value is serviceable: two
+// workers, a small queue, in-memory-only state, no faults.
+type Options struct {
+	// Workers is the number of concurrent job runners (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue; submits beyond it are shed
+	// with 429 (default 8).
+	QueueDepth int
+	// Retries is the per-job retry budget for transient failures
+	// (default 2; negative disables retries).
+	Retries int
+	// RetryBase is the exponential-backoff base (default 50ms).
+	RetryBase time.Duration
+	// JobTimeout bounds each job's wall time; 0 means no deadline.
+	JobTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight jobs get this
+	// long to finish before being cancelled mid-quantum (default 10s).
+	DrainTimeout time.Duration
+	// StateDir roots the journal and on-disk result cache; "" keeps
+	// everything in memory (no crash safety, no cross-restart cache).
+	StateDir string
+	// Faults injects deterministic service-layer chaos (handler
+	// latency, job drops, journal-write failures); the zero value
+	// injects nothing.
+	Faults faults.Config
+	// Metrics optionally receives service counters/gauges under the
+	// "serve" scope plus the usual sweep metrics from jobs.
+	Metrics *telemetry.Registry
+	// Dash optionally feeds a live dashboard from every job's run.
+	Dash *dash.Server
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+type serveMetrics struct {
+	submitted, shed, rejected, dedup, cacheHits *telemetry.Counter
+	done, failed, cancelled, retries, resumed   *telemetry.Counter
+	journalErrs                                 *telemetry.Counter
+	queued, running                             *telemetry.Gauge
+}
+
+// Server is the job service. Create with New, mount its handlers with
+// Mount (the signature telemetry.StartProfiler's mount hooks expect),
+// and stop it with Shutdown.
+type Server struct {
+	opts    Options
+	inj     *faults.Injector
+	journal *Journal
+	store   *resultStore
+	bc      *dash.Broadcaster
+	met     serveMetrics
+
+	runCtx  context.Context // cancelled to hard-stop in-flight runs
+	runStop context.CancelFunc
+
+	queue    chan *job
+	wg       sync.WaitGroup
+	stopPick chan struct{} // closed when workers must stop picking jobs
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string
+	inflight map[string]*job // fingerprint -> queued/running job
+	nextID   uint64
+	queuedN  int
+	runningN int
+}
+
+// New builds the server, replays the journal when a state directory is
+// configured (re-enqueueing jobs that never reached a terminal state,
+// answering completed ones from the on-disk cache), and starts the
+// worker pool.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	store, err := newResultStore(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.New(opts.Faults)
+	var journal *Journal
+	var entries []Entry
+	if opts.StateDir != "" {
+		journal, entries, err = OpenJournal(opts.StateDir, inj)
+		if err != nil {
+			return nil, err
+		}
+	}
+	reg := opts.Metrics.Scope("serve")
+	s := &Server{
+		opts:     opts,
+		inj:      inj,
+		journal:  journal,
+		store:    store,
+		bc:       dash.NewBroadcaster(),
+		stopPick: make(chan struct{}),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+		met: serveMetrics{
+			submitted:   reg.Counter("submitted"),
+			shed:        reg.Counter("shed"),
+			rejected:    reg.Counter("rejected"),
+			dedup:       reg.Counter("dedup_hits"),
+			cacheHits:   reg.Counter("cache_hits"),
+			done:        reg.Counter("done"),
+			failed:      reg.Counter("failed"),
+			cancelled:   reg.Counter("cancelled"),
+			retries:     reg.Counter("retries"),
+			resumed:     reg.Counter("resumed"),
+			journalErrs: reg.Counter("journal_errors"),
+			queued:      reg.Gauge("queued"),
+			running:     reg.Gauge("running"),
+		},
+	}
+	s.runCtx, s.runStop = context.WithCancel(context.Background())
+	recovered := s.replay(entries)
+	s.queue = make(chan *job, opts.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.queuedN++
+		s.queue <- j
+	}
+	s.met.queued.Set(int64(s.queuedN))
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay rebuilds job records from journal entries and returns the jobs
+// that must run again: submitted but never finished, and not already
+// answered by the result cache. Runs before the worker pool starts, so
+// no locking is needed.
+func (s *Server) replay(entries []Entry) []*job {
+	type rec struct {
+		e        Entry
+		attempts int
+		term     Entry
+		terminal bool
+	}
+	byID := map[string]*rec{}
+	var ids []string
+	for _, e := range entries {
+		switch e.Event {
+		case evSubmitted:
+			if e.Spec == nil || byID[e.ID] != nil {
+				continue
+			}
+			byID[e.ID] = &rec{e: e}
+			ids = append(ids, e.ID)
+		case evStarted:
+			if r := byID[e.ID]; r != nil && e.Attempt > r.attempts {
+				r.attempts = e.Attempt
+			}
+		default:
+			if r := byID[e.ID]; r != nil && e.terminal() && !r.terminal {
+				r.term, r.terminal = e, true
+			}
+		}
+	}
+	var rerun []*job
+	for _, id := range ids {
+		r := byID[id]
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		j := &job{
+			status: JobStatus{
+				ID:          id,
+				Fingerprint: r.e.Fingerprint,
+				Spec:        *r.e.Spec,
+				Attempts:    r.attempts,
+			},
+			done: make(chan struct{}),
+		}
+		switch {
+		case r.terminal:
+			switch r.term.Event {
+			case evDone:
+				j.status.State, j.status.Partial = StateDone, r.term.Partial
+			case evFailed:
+				j.status.State, j.status.Error = StateFailed, r.term.Error
+			case evCancelled:
+				j.status.State, j.status.Error = StateCancelled, r.term.Error
+			}
+			close(j.done)
+		default:
+			if _, ok := s.store.Get(j.status.Fingerprint); ok {
+				// A twin's result is already durable: answer from cache
+				// instead of re-simulating.
+				j.status.State, j.status.Cached = StateDone, true
+				s.met.cacheHits.Inc()
+				close(j.done)
+				break
+			}
+			j.status.State, j.status.Resumed = StateQueued, true
+			s.inflight[j.status.Fingerprint] = j
+			s.met.resumed.Inc()
+			rerun = append(rerun, j)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return rerun
+}
+
+// Submit admits a job: answered from the result cache when a completed
+// twin exists, attached to an in-flight twin when one is queued or
+// running (single-flight), otherwise journaled and enqueued. The
+// returned status snapshot carries the admission verdict. Errors:
+// ErrDraining, ErrQueueFull, or a journal failure (the job was NOT
+// admitted; the client should retry).
+func (s *Server) Submit(spec exp.JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	fp := spec.Fingerprint()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	s.met.submitted.Inc()
+	if twin := s.inflight[fp]; twin != nil {
+		st := twin.status
+		st.Dedup = true
+		s.met.dedup.Inc()
+		s.mu.Unlock()
+		return st, nil
+	}
+	if t, ok := s.store.Get(fp); ok {
+		j := s.newJobLocked(spec, fp)
+		j.status.State, j.status.Cached = StateDone, true
+		j.status.Partial = t.Partial()
+		j.result = t
+		close(j.done)
+		st := j.status
+		s.met.cacheHits.Inc()
+		s.mu.Unlock()
+		s.publish(st)
+		return st, nil
+	}
+	if s.queuedN >= s.opts.QueueDepth {
+		s.met.shed.Inc()
+		s.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	j := s.newJobLocked(spec, fp)
+	j.status.State = StateQueued
+	if err := s.journalAppend(Entry{Event: evSubmitted, ID: j.status.ID, Fingerprint: fp, Spec: &spec}); err != nil {
+		// Not durable -> not admitted; undo the record so a retry of the
+		// same spec is a fresh submission.
+		delete(s.jobs, j.status.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.met.rejected.Inc()
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	s.inflight[fp] = j
+	s.queuedN++
+	s.met.queued.Set(int64(s.queuedN))
+	select {
+	case s.queue <- j:
+	default:
+		// Cannot happen (queuedN mirrors channel occupancy under mu),
+		// but shed rather than block the handler if it ever does.
+		delete(s.inflight, fp)
+		delete(s.jobs, j.status.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.queuedN--
+		s.met.queued.Set(int64(s.queuedN))
+		s.met.shed.Inc()
+		s.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	st := j.status
+	s.mu.Unlock()
+	s.publish(st)
+	return st, nil
+}
+
+// Admission errors.
+var (
+	ErrDraining   = errors.New("serve: draining, not accepting jobs")
+	ErrQueueFull  = errors.New("serve: queue full")
+	ErrNotDurable = errors.New("serve: journal write failed, job not admitted")
+	ErrNotFound   = errors.New("serve: no such job")
+)
+
+func (s *Server) newJobLocked(spec exp.JobSpec, fp string) *job {
+	s.nextID++
+	j := &job{
+		status: JobStatus{
+			ID:          fmt.Sprintf("job-%d", s.nextID),
+			Fingerprint: fp,
+			Spec:        spec,
+		},
+		done: make(chan struct{}),
+	}
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	return j
+}
+
+// Status returns the job's current status snapshot.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.status, nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	return out
+}
+
+// Result returns the job's result table. Done jobs recovered from the
+// journal load it from the on-disk cache on first access.
+func (s *Server) Result(id string) (*exp.Table, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	st, t := j.status, j.result
+	s.mu.Unlock()
+	if t != nil {
+		return t, nil
+	}
+	if st.State != StateDone {
+		return nil, fmt.Errorf("serve: job %s is %s, no result", id, st.State)
+	}
+	t, ok := s.store.Get(st.Fingerprint)
+	if !ok {
+		return nil, fmt.Errorf("serve: job %s result missing from cache", id)
+	}
+	s.mu.Lock()
+	j.result = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Cancel stops a job: a queued job is terminal immediately, a running
+// one has its context cancelled and stops within one quantum-poll
+// stride, keeping whatever results it had. Cancelling a terminal job is
+// a no-op returning its status.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	if j.status.State.Terminal() {
+		st := j.status
+		s.mu.Unlock()
+		return st, nil
+	}
+	j.userCancel = true
+	if j.status.State == StateQueued {
+		// The worker that eventually dequeues it sees the terminal state
+		// and skips it.
+		j.status.State = StateCancelled
+		delete(s.inflight, j.status.Fingerprint)
+		s.met.cancelled.Inc()
+		st := j.status
+		s.journalAppend(Entry{Event: evCancelled, ID: id, Fingerprint: st.Fingerprint})
+		close(j.done)
+		s.mu.Unlock()
+		s.publish(st)
+		return st, nil
+	}
+	cancel := j.cancel
+	st := j.status
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return st, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Events exposes the lifecycle/quantum broadcaster for SSE handlers.
+func (s *Server) Events() *dash.Broadcaster { return s.bc }
+
+func (s *Server) publish(st JobStatus) { s.bc.Publish("job", st) }
+
+func (s *Server) journalAppend(e Entry) error {
+	err := s.journal.Append(e)
+	if err != nil {
+		s.met.journalErrs.Inc()
+	}
+	return err
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Drain wins over queued work: once stopPick closes, queued jobs
+		// stay journaled-but-unstarted and the next start resumes them.
+		select {
+		case <-s.stopPick:
+			return
+		default:
+		}
+		select {
+		case <-s.stopPick:
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queuedN--
+			s.met.queued.Set(int64(s.queuedN))
+			claimed := j.status.State == StateQueued
+			if claimed {
+				j.status.State = StateRunning
+				s.runningN++
+				s.met.running.Set(int64(s.runningN))
+			}
+			st := j.status
+			s.mu.Unlock()
+			if !claimed {
+				continue
+			}
+			s.publish(st)
+			s.runJob(j)
+			s.mu.Lock()
+			s.runningN--
+			s.met.running.Set(int64(s.runningN))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// transient reports whether an attempt failure is worth retrying:
+// injected chaos and panics are; context cancellation and deadline
+// expiry are not (the job's clock, not the job, ended it).
+func transient(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff returns the delay before the given retry: exponential in the
+// attempt with a deterministic jitter in [0.5, 1.5) keyed by the job
+// fingerprint, so reproductions of a failure schedule reproduce its
+// timing too.
+func (s *Server) backoff(fp string, attempt int) time.Duration {
+	d := s.opts.RetryBase << uint(attempt)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	r := rng.NewNamed(h.Sum64(), "serve/backoff/"+strconv.Itoa(attempt))
+	return d/2 + time.Duration(r.Float64()*float64(d))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) stopping() bool {
+	select {
+	case <-s.stopPick:
+		return true
+	default:
+		return false
+	}
+}
+
+// runJob executes one claimed job: deadline, retry loop with backoff,
+// panic isolation, then terminal classification.
+func (s *Server) runJob(j *job) {
+	base := s.runCtx
+	var cancelT context.CancelFunc = func() {}
+	if s.opts.JobTimeout > 0 {
+		base, cancelT = context.WithTimeout(base, s.opts.JobTimeout)
+	}
+	defer cancelT()
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	s.mu.Lock()
+	j.cancel = cancel
+	fp := j.status.Fingerprint
+	// A Cancel that raced the claim (before the cancel func existed)
+	// takes effect now.
+	if j.userCancel {
+		cancel()
+	}
+	s.mu.Unlock()
+
+	var table *exp.Table
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		j.status.Attempts = attempt + 1
+		id := j.status.ID
+		s.mu.Unlock()
+		s.journalAppend(Entry{Event: evStarted, ID: id, Fingerprint: fp, Attempt: attempt + 1})
+		table, err = s.attempt(ctx, j, attempt)
+		if err == nil || ctx.Err() != nil || !transient(err) || attempt >= s.opts.Retries {
+			break
+		}
+		s.met.retries.Inc()
+		if !sleepCtx(ctx, s.backoff(fp, attempt)) {
+			break
+		}
+	}
+	s.finish(j, ctx, table, err)
+}
+
+// attempt is one isolated try: the service-layer job-drop fault site,
+// then the experiment run with the service's observability attached.
+// A panic anywhere inside (including table assembly above the sweep's
+// own per-item recovery) becomes this attempt's error.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int) (t *exp.Table, err error) {
+	s.mu.Lock()
+	spec, id, fp := j.status.Spec, j.status.ID, j.status.Fingerprint
+	s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("serve: job %s attempt %d panicked: %v", id, attempt+1, r)
+		}
+	}()
+	if err := s.inj.DropJob(fp, attempt); err != nil {
+		return nil, fmt.Errorf("serve: job %s: %w", id, err)
+	}
+	return spec.Run(ctx, func(sc *exp.Scale) {
+		sc.Telemetry.Metrics = s.opts.Metrics
+		sc.Telemetry.Recorder = s.bc
+		sc.Dash = s.opts.Dash
+	})
+}
+
+// finish classifies the outcome, journals the terminal event (except
+// for drain interruptions, which must stay resumable), stores clean
+// results in the full-run cache, and wakes waiters.
+func (s *Server) finish(j *job, ctx context.Context, table *exp.Table, err error) {
+	// Only a run the clock never touched is the job's canonical result:
+	// a table cut short by cancellation or deadline is timing-dependent
+	// and must not poison the cache.
+	clean := err == nil && ctx.Err() == nil
+	s.mu.Lock()
+	fp, id := j.status.Fingerprint, j.status.ID
+	userCancel := j.userCancel
+	s.mu.Unlock()
+	var storeErr error
+	if clean {
+		storeErr = s.store.Put(fp, table)
+	}
+	s.mu.Lock()
+	delete(s.inflight, fp)
+	var entry *Entry
+	switch {
+	case clean:
+		j.status.State, j.status.Partial = StateDone, table.Partial()
+		j.result = table
+		if storeErr != nil {
+			j.status.Error = storeErr.Error()
+		}
+		s.met.done.Inc()
+		entry = &Entry{Event: evDone, ID: id, Fingerprint: fp, Partial: j.status.Partial}
+	case userCancel:
+		j.status.State = StateCancelled
+		j.result = table // partial results, when the run got that far
+		j.status.Partial = table != nil && table.Partial()
+		if err != nil {
+			j.status.Error = err.Error()
+		}
+		s.met.cancelled.Inc()
+		entry = &Entry{Event: evCancelled, ID: id, Fingerprint: fp}
+	case s.stopping() && ctx.Err() != nil:
+		// Drain cut it down (whether the run salvaged a partial table or
+		// not): no terminal journal entry, so the next start re-runs it
+		// and produces the full result.
+		j.status.State = StateInterrupted
+		j.status.Error = "interrupted by shutdown"
+	case err == nil:
+		// The run beat its own deadline/cancellation to a partial table.
+		j.status.State, j.status.Partial = StateDone, table.Partial()
+		j.result = table
+		s.met.done.Inc()
+		entry = &Entry{Event: evDone, ID: id, Fingerprint: fp, Partial: j.status.Partial}
+	default:
+		j.status.State, j.status.Error = StateFailed, err.Error()
+		s.met.failed.Inc()
+		entry = &Entry{Event: evFailed, ID: id, Fingerprint: fp, Error: err.Error()}
+	}
+	st := j.status
+	if entry != nil {
+		s.journalAppend(*entry)
+	}
+	close(j.done)
+	s.mu.Unlock()
+	s.publish(st)
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: admissions stop immediately, queued jobs
+// stay journaled for the next start, and in-flight jobs get until the
+// drain deadline (the sooner of ctx and Options.DrainTimeout) to
+// finish before being cancelled mid-quantum and left resumable. The SSE
+// broadcaster closes only after the last job published its terminal
+// event, so clients never see a truncated frame. Always returns with
+// the worker pool stopped and the journal closed; the error is the
+// journal's close error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopPick) })
+	ctx, cancel := context.WithTimeout(ctx, s.opts.DrainTimeout)
+	defer cancel()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		s.runStop()
+		<-idle
+	}
+	s.runStop()
+	// Jobs still queued were never started; journal-wise they are
+	// already resumable. Mark them interrupted so in-process waiters
+	// unblock.
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.status.State == StateQueued {
+			j.status.State = StateInterrupted
+			j.status.Error = "interrupted by shutdown"
+			delete(s.inflight, j.status.Fingerprint)
+			close(j.done)
+		}
+	}
+	s.mu.Unlock()
+	s.bc.Close()
+	return s.journal.Close()
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// countdownCtx reports cancellation after a fixed number of Err polls,
+// making cancellation-latency tests deterministic: no timers, no
+// goroutines, no wall-clock flakiness.
+type countdownCtx struct {
+	context.Context
+	polls, limit int
+}
+
+func (c *countdownCtx) Err() error {
+	c.polls++
+	if c.polls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunQuantaCtxStopsMidQuantum is the cancellation latency bound: a
+// context that expires mid-quantum stops the cycle loop within one
+// check stride, not at the end of the quantum (let alone the run).
+func TestRunQuantaCtxStopsMidQuantum(t *testing.T) {
+	cfg := testConfig()
+	cfg.Quantum = 5_000_000 // paper-scale quantum: ~600x the check stride
+	cfg.Cores = 2
+	sys, err := New(cfg, testSpecs(t, "mcf", "libquantum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const allowedPolls = 4
+	ctx := &countdownCtx{Context: context.Background(), limit: allowedPolls}
+	if err := sys.RunQuantaCtx(ctx, 1); err != context.Canceled {
+		t.Fatalf("RunQuantaCtx = %v, want context.Canceled", err)
+	}
+	bound := uint64(allowedPolls) * cancelCheckStride
+	if sys.Cycle() > bound {
+		t.Fatalf("cancelled run advanced %d cycles, want <= %d (stride bound)", sys.Cycle(), bound)
+	}
+	if sys.Cycle() >= cfg.Quantum {
+		t.Fatalf("cancelled run completed its quantum (%d cycles)", sys.Cycle())
+	}
+}
+
+// TestRunQuantaCtxBitIdentity locks the chunked advancement to the
+// plain path: an uncancelled RunQuantaCtx run is cycle-for-cycle
+// identical to RunQuanta.
+func TestRunQuantaCtxBitIdentity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cores = 2
+	specs := testSpecs(t, "mcf", "libquantum")
+	plain, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.RunQuanta(3)
+	if err := chunked.RunQuantaCtx(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycle() != chunked.Cycle() {
+		t.Fatalf("cycle mismatch: %d vs %d", plain.Cycle(), chunked.Cycle())
+	}
+	for a := range specs {
+		if plain.Retired(a) != chunked.Retired(a) {
+			t.Fatalf("app %d retired mismatch: %d vs %d", a, plain.Retired(a), chunked.Retired(a))
+		}
+	}
+}
+
+// TestRunQuantaCtxNilContext runs to completion.
+func TestRunQuantaCtxNilContext(t *testing.T) {
+	cfg := testConfig()
+	sys, err := New(cfg, testSpecs(t, "mcf", "libquantum", "astar", "soplex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunQuantaCtx(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cycle() != cfg.Quantum {
+		t.Fatalf("cycle = %d, want %d", sys.Cycle(), cfg.Quantum)
+	}
+}

@@ -9,7 +9,10 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"asmsim/internal/dram"
 	"asmsim/internal/workload"
@@ -205,6 +208,19 @@ func (c Config) Fingerprint() string {
 		c.Channels, c.timing(), c.Quantum, c.Epoch,
 		c.EpochPriority, c.EpochRoundRobin, c.ATSSampledSets, c.Policy,
 		c.Prefetch, c.wbBackpressure(), c.Seed, c.streamSeed())
+}
+
+// FingerprintHash condenses an ordered list of canonical fingerprint
+// parts into one stable 128-bit hex digest. It is the keying primitive
+// for whole-run memoization: the serving layer fingerprints a job as
+// FingerprintHash(experiment id, scale knobs..., Config.Fingerprint()),
+// extending the alone-curve cache's exact-identity keying from one
+// single-core replica to a complete experiment run. Parts are joined
+// with an unprintable separator so no concatenation of distinct part
+// lists can collide textually.
+func FingerprintHash(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x1f")))
+	return hex.EncodeToString(h[:16])
 }
 
 // aloneCurveConfig canonicalizes a shared-run config to the single-core
