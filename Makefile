@@ -64,8 +64,11 @@ dash-smoke:
 
 # serve-smoke drills the job service end to end: start asmserve with a
 # state directory, submit a job twice (the second must be a cache hit),
-# SIGTERM it mid-job, then restart and verify the journal resumed the
-# interrupted job and the server drains cleanly again.
+# scrape /metrics with a strict exposition parse, SIGTERM it mid-job
+# (checking /readyz flips to 503 during the drain), then restart and
+# verify the journal resumed the interrupted job and the server drains
+# cleanly again. A final phase injects job drops and requires a
+# flight-recorder dump on disk.
 serve-smoke:
 	$(GO) build -o $(CURDIR)/.serve-smoke-asmserve ./cmd/asmserve
 	$(GO) run ./cmd/servesmoke -bin $(CURDIR)/.serve-smoke-asmserve

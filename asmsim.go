@@ -381,6 +381,7 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 					est[name] = v[a]
 				}
 				qr := &QuantumRecord{
+					TraceID:   opt.Telemetry.TraceID,
 					Mix:       mix.String(),
 					App:       a,
 					Bench:     specs[a].Name,

@@ -14,6 +14,9 @@
 //	curl -s localhost:8080/api/jobs/job-1/result
 //	curl -N  localhost:8080/api/events
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/api/debug/flightrecord
 //
 // The listener also serves the live dashboard (/debug/asm/) and pprof
 // (/debug/pprof/). SIGINT/SIGTERM drains gracefully: admissions stop
@@ -30,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -54,6 +58,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
 		faultSpec    = flag.String("faults", "", "inject deterministic service faults: comma-separated key=value (seed, handler-latency-prob, handler-latency, job-drop-prob, journal-fail-prob)")
+		logSpec      = flag.String("log", "", "structured job logs: off (default), text, or json; written to stderr with per-job trace_id")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -64,6 +69,16 @@ func main() {
 	fc, err := parseFaults(*faultSpec)
 	if err != nil {
 		fatal(err)
+	}
+	var logger *slog.Logger
+	switch *logSpec {
+	case "", "off":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("asmserve: -log must be off, text or json (got %q)", *logSpec))
 	}
 
 	// Catch signals before anything is advertised: a SIGTERM arriving
@@ -85,6 +100,7 @@ func main() {
 		Faults:       fc,
 		Metrics:      reg,
 		Dash:         dashSrv,
+		Log:          logger,
 	})
 	if err != nil {
 		fatal(err)

@@ -61,7 +61,7 @@ func main() {
 		dashSrv = asmsim.NewDashServer()
 		httpAddr = *dashAddr
 	}
-	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount)
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount, dashSrv.MountMetrics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -83,7 +83,7 @@ func main() {
 		dashSrv = dash.NewServer()
 		httpAddr = *dashAddr
 	}
-	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount)
+	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, httpAddr, dashSrv.Mount, dashSrv.MountMetrics)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,10 +1,14 @@
 // Command servesmoke is the CI smoke test for the job service: it
 // launches a real asmserve with an on-disk state directory, submits a
-// job twice (the second answer must be a cache hit), verifies the SSE
-// stream opens, then SIGTERMs the server mid-job and checks that it
-// exits 0 within the drain window, that the journal left the
+// job twice (the second answer must be a cache hit), scrapes /metrics
+// (strict exposition-format parse plus a required-series check),
+// verifies the SSE stream opens, then SIGTERMs the server mid-job and
+// checks that /readyz flips to 503 while the drain runs, that the
+// process exits 0 within the drain window, that the journal left the
 // interrupted job resumable, and that a restarted server picks it up
-// and still answers health checks.
+// and still answers health checks. A final phase runs a server with
+// job-drop faults injected at probability 1 and requires the failed
+// job to leave a flight-recorder dump on disk.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -70,13 +75,14 @@ type child struct {
 	base string
 }
 
-func start(bin, stateDir string) (*child, error) {
-	cmd := exec.Command(bin,
+func start(bin, stateDir string, extra ...string) (*child, error) {
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-state", stateDir,
 		"-workers", "1",
 		"-drain-timeout", "2s",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	cmd.Stdout = os.Stdout
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -115,6 +121,12 @@ func (c *child) stop() error {
 	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal child: %w", err)
 	}
+	return c.waitExit()
+}
+
+// waitExit requires a clean (exit 0) drain within the window after a
+// SIGTERM was already sent.
+func (c *child) waitExit() error {
 	waitCh := make(chan error, 1)
 	go func() { waitCh <- c.cmd.Wait() }()
 	select {
@@ -151,6 +163,10 @@ func run(bin string, timeout time.Duration) error {
 		return fmt.Errorf("healthz: %w", err)
 	}
 	fmt.Println("  healthz      ok")
+	if err := checkReady(c.base); err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	fmt.Println("  readyz       ok")
 
 	// First submission runs; the identical second one must be answered
 	// from the result cache with a bit-identical table.
@@ -182,13 +198,19 @@ func run(bin string, timeout time.Duration) error {
 	}
 	fmt.Println("  cache hit    ok")
 
+	if err := checkMetrics(c.base); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Println("  metrics      ok")
+
 	if err := checkSSE(c.base); err != nil {
 		return fmt.Errorf("events SSE: %w", err)
 	}
 	fmt.Println("  events SSE   ok")
 
-	// SIGTERM mid-job: the server must drain within the window and exit
-	// 0, leaving the job resumable in the journal.
+	// SIGTERM mid-job: /readyz must flip to 503 while the drain runs,
+	// then the server must exit 0 within the window, leaving the job
+	// resumable in the journal.
 	slow, err := submit(c.base, slowJob, http.StatusAccepted)
 	if err != nil {
 		return fmt.Errorf("slow submit: %w", err)
@@ -196,7 +218,14 @@ func run(bin string, timeout time.Duration) error {
 	if err := waitJob(c.base, slow.ID, "running", deadline); err != nil {
 		return err
 	}
-	if err := c.stop(); err != nil {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal child: %w", err)
+	}
+	if err := waitUnready(c.base, 5*time.Second); err != nil {
+		return fmt.Errorf("readyz during drain: %w", err)
+	}
+	fmt.Println("  readyz flip  ok")
+	if err := c.waitExit(); err != nil {
 		return err
 	}
 	fmt.Println("  drain        ok")
@@ -231,6 +260,51 @@ func run(bin string, timeout time.Duration) error {
 		return fmt.Errorf("second drain: %w", err)
 	}
 	fmt.Println("  re-drain     ok")
+
+	// Fault drill: a server dropping every job must fail the submission
+	// and leave a flight-recorder dump under the state directory.
+	faultDir, err := os.MkdirTemp("", "serve-smoke-faults-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(faultDir)
+	c3, err := start(bin, faultDir, "-faults", "seed=1,job-drop-prob=1", "-retries", "-1")
+	if err != nil {
+		return fmt.Errorf("fault-drill start: %w", err)
+	}
+	defer func() {
+		c3.cmd.Process.Kill()
+		c3.cmd.Wait()
+	}()
+	dropped, err := submit(c3.base, tinyJob, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("fault-drill submit: %w", err)
+	}
+	if err := waitJob(c3.base, dropped.ID, "failed", deadline); err != nil {
+		return fmt.Errorf("fault-drill: %w", err)
+	}
+	dumps, err := filepath.Glob(filepath.Join(faultDir, "flightrec", "flight-*.json"))
+	if err != nil || len(dumps) == 0 {
+		return fmt.Errorf("no flight-recorder dump after injected fault (err=%v)", err)
+	}
+	b, err := os.ReadFile(dumps[0])
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Reason string           `json:"reason"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(b, &dump); err != nil {
+		return fmt.Errorf("flight dump %s is not JSON: %w", dumps[0], err)
+	}
+	if dump.Reason != "injected-fault" || len(dump.Events) == 0 {
+		return fmt.Errorf("flight dump %s: reason %q, %d events", dumps[0], dump.Reason, len(dump.Events))
+	}
+	if err := c3.stop(); err != nil {
+		return fmt.Errorf("fault-drill drain: %w", err)
+	}
+	fmt.Println("  flight dump  ok")
 	return nil
 }
 
@@ -314,6 +388,134 @@ func checkHealth(base, want string) error {
 	}
 	if h.Status != want || h.Workers == 0 {
 		return fmt.Errorf("health %+v, want status %q", h, want)
+	}
+	return nil
+}
+
+// checkReady requires /readyz to answer 200 with every dependency
+// check passing.
+func checkReady(base string) error {
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var rd struct {
+		Ready  bool              `json:"ready"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !rd.Ready {
+		return fmt.Errorf("readyz %d %+v", resp.StatusCode, rd)
+	}
+	for name, v := range rd.Checks {
+		if !strings.HasPrefix(v, "ok") {
+			return fmt.Errorf("check %s = %q", name, v)
+		}
+	}
+	return nil
+}
+
+// waitUnready polls /readyz until it answers 503 with the admissions
+// check reporting the drain.
+func waitUnready(base string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			return fmt.Errorf("readyz unreachable mid-drain (last: %s): %w", last, err)
+		}
+		var rd struct {
+			Ready  bool              `json:"ready"`
+			Checks map[string]string `json:"checks"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&rd)
+		resp.Body.Close()
+		if derr != nil {
+			return derr
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && rd.Checks["admissions"] == "draining" {
+			return nil
+		}
+		last = fmt.Sprintf("%d %+v", resp.StatusCode, rd)
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("readyz never flipped to 503/draining (last: %s)", last)
+}
+
+var promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+( [0-9]+)?$`)
+
+// checkMetrics scrapes /metrics, validates the whole payload against
+// the text exposition format (well-formed TYPE lines, no duplicate
+// TYPE, every sample matching the grammar), and requires the service's
+// core series to be present.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	body := string(b)
+	names := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return fmt.Errorf("malformed TYPE line %q", line)
+			}
+			if typed[f[2]] {
+				return fmt.Errorf("duplicate TYPE for %s", f[2])
+			}
+			switch f[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return fmt.Errorf("unknown type %q in %q", f[3], line)
+			}
+			typed[f[2]] = true
+		case strings.HasPrefix(line, "#"):
+		default:
+			if !promSampleRe.MatchString(line) {
+				return fmt.Errorf("malformed sample line %q", line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			names[name] = true
+		}
+	}
+	for _, want := range []string{
+		"serve_submitted_total",
+		"serve_jobs_finished_total",
+		"serve_queued",
+		"serve_running",
+		"serve_job_latency_ns_count",
+		"serve_queue_wait_ns_count",
+		"serve_attempt_ns_count",
+		"serve_journal_fsync_ns_count",
+	} {
+		if !names[want] {
+			return fmt.Errorf("required series %s missing", want)
+		}
+	}
+	if !strings.Contains(body, `serve_jobs_finished_total{state="done"}`) {
+		return fmt.Errorf(`no serve_jobs_finished_total{state="done"} sample`)
 	}
 	return nil
 }

@@ -44,7 +44,7 @@ func main() {
 		reg := asmsim.NewTelemetryRegistry()
 		cl.SetTelemetry(reg)
 		dashSrv.SetRegistry(reg)
-		prof, err := telemetry.StartProfiler("", "", *dashAddr, dashSrv.Mount)
+		prof, err := telemetry.StartProfiler("", "", *dashAddr, dashSrv.Mount, dashSrv.MountMetrics)
 		if err != nil {
 			log.Fatal(err)
 		}

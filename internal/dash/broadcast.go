@@ -47,9 +47,31 @@ type Broadcaster struct {
 	frames atomic.Uint64 // frames fanned out (to >=1 subscriber)
 	drops  atomic.Uint64 // frames or backlog entries discarded
 
+	// dropCtr optionally mirrors drops into a registry counter so
+	// evictions show up on /metrics instead of only in Stats(); see
+	// SetDropCounter.
+	dropCtr atomic.Pointer[telemetry.Counter]
+
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
 	closed bool
+}
+
+// SetDropCounter mirrors every dropped frame (drop-oldest evictions and
+// whole-frame drops) into c, typically "dash.sse.dropped_frames" or
+// "serve.sse.dropped_frames", so silent backpressure becomes a
+// scrapeable series. Nil-safe on both sides.
+func (b *Broadcaster) SetDropCounter(c *telemetry.Counter) {
+	if b == nil || c == nil {
+		return
+	}
+	b.dropCtr.Store(c)
+}
+
+// drop counts one discarded frame or backlog entry.
+func (b *Broadcaster) drop() {
+	b.drops.Add(1)
+	b.dropCtr.Load().Inc()
 }
 
 // NewBroadcaster returns an empty broadcaster.
@@ -108,13 +130,13 @@ func (b *Broadcaster) push(sub *subscriber, frame []byte) {
 	}
 	select {
 	case <-sub.ch:
-		b.drops.Add(1)
+		b.drop()
 	default:
 	}
 	select {
 	case sub.ch <- frame:
 	default:
-		b.drops.Add(1)
+		b.drop()
 	}
 }
 

@@ -59,6 +59,9 @@ func (s *Server) SetRegistry(r *telemetry.Registry) {
 	s.mu.Lock()
 	s.reg = r
 	s.mu.Unlock()
+	// Surface the SSE fan-out's drop-oldest evictions as a scrapeable
+	// counter next to the rest of the registry.
+	s.bc.SetDropCounter(r.Scope("dash").Scope("sse").Counter("dropped_frames"))
 }
 
 // SetProgress points /debug/asm/progress at p.
@@ -123,6 +126,25 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/asm/quanta", s.handleQuanta)
 	mux.HandleFunc("/debug/asm/attribution", s.handleAttribution)
 	mux.HandleFunc("/debug/asm/progress", s.handleProgress)
+}
+
+// MountMetrics registers the Prometheus text-exposition endpoint at
+// /metrics, serving whatever registry SetRegistry last installed. It is
+// split from Mount because asmserve mounts the dashboard and the job
+// service on one listener and the job service already owns /metrics
+// there; standalone binaries (asmsim, experiments) add this mount to
+// get a scrape target on the pprof listener. Mounting a nil Server
+// registers nothing.
+func (s *Server) MountMetrics(mux *http.ServeMux) {
+	if s == nil {
+		return
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		reg := s.reg
+		s.mu.Unlock()
+		telemetry.PromHandler(reg, telemetry.DefaultPromRules()).ServeHTTP(w, r)
+	})
 }
 
 // Close shuts the SSE fan-out down so connected clients' handlers exit;

@@ -102,6 +102,11 @@ func TestMetricsGolden(t *testing.T) {
 	want := `{
  "metrics": [
   {
+   "name": "dash.sse.dropped_frames",
+   "kind": "counter",
+   "value": 0
+  },
+  {
    "name": "exp.item",
    "kind": "timer",
    "value": 1,

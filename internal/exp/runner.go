@@ -127,6 +127,7 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 					est[name] = v[a]
 				}
 				rec.Record(&telemetry.QuantumRecord{
+					TraceID:   sc.Telemetry.TraceID,
 					Mix:       mix.String(),
 					App:       a,
 					Bench:     specs[a].Name,
@@ -270,6 +271,7 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 		if rec != nil {
 			for a := range specs {
 				rec.Record(&telemetry.QuantumRecord{
+					TraceID:  sc.Telemetry.TraceID,
 					Mix:      mix.String(),
 					Scheme:   scheme.Name,
 					App:      a,

@@ -43,6 +43,47 @@ func TestChaos(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
+	// Observers run for the whole storm: /metrics must stay a parseable
+	// exposition and the flight-recorder endpoint must answer, both
+	// through the same fault-injecting middleware, without ever
+	// deadlocking against the job machinery.
+	scrapeStop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-scrapeStop:
+					return
+				default:
+				}
+				body, err := scrape(srv.URL + "/metrics")
+				if err == nil {
+					_, err = checkExposition(body)
+				}
+				if err != nil {
+					t.Errorf("chaos scrape: %v", err)
+					return
+				}
+				var rec flightRecordResponse
+				if body, err = scrape(srv.URL + "/api/debug/flightrecord"); err == nil {
+					err = json.Unmarshal([]byte(body), &rec)
+				}
+				if err != nil {
+					t.Errorf("chaos flight record: %v", err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	defer func() {
+		close(scrapeStop)
+		scrapeWG.Wait()
+	}()
+
 	const clients = 10
 	var (
 		mu       sync.Mutex

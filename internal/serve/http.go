@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -12,24 +14,31 @@ import (
 
 	"asmsim/internal/dash"
 	"asmsim/internal/exp"
+	"asmsim/internal/telemetry"
 )
 
 // Mount registers the job API on mux. The signature matches
 // telemetry.StartProfiler's mount hooks, so the service shares the
 // profiler's listener alongside the dashboard:
 //
-//	POST   /api/jobs             submit a job (exp.JobSpec JSON)
-//	GET    /api/jobs             list all jobs
-//	GET    /api/jobs/{id}        one job's status
-//	GET    /api/jobs/{id}/result the finished job's table
-//	DELETE /api/jobs/{id}        cancel the job
-//	GET    /api/events           SSE: job lifecycle + quantum records
-//	GET    /healthz              liveness/readiness (503 while draining)
+//	POST   /api/jobs               submit a job (exp.JobSpec JSON)
+//	GET    /api/jobs               list all jobs
+//	GET    /api/jobs/{id}          one job's status
+//	GET    /api/jobs/{id}/result   the finished job's table
+//	DELETE /api/jobs/{id}          cancel the job
+//	GET    /api/events             SSE: job lifecycle + quantum records
+//	GET    /api/debug/flightrecord recent-events ring (?save=1 also dumps to disk)
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /readyz                 readiness with real dependency checks
+//	GET    /metrics                Prometheus text exposition of the registry
 func (s *Server) Mount(mux *http.ServeMux) {
 	mux.Handle("/api/jobs", s.withFaults("jobs", s.handleJobs))
 	mux.Handle("/api/jobs/", s.withFaults("job", s.handleJob))
 	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.Handle("/api/debug/flightrecord", s.withFaults("flightrecord", s.handleFlightRecord))
 	mux.Handle("/healthz", s.withFaults("healthz", s.handleHealthz))
+	mux.Handle("/readyz", s.withFaults("readyz", s.handleReadyz))
+	mux.Handle("/metrics", telemetry.PromHandler(s.opts.Metrics, telemetry.DefaultPromRules()))
 }
 
 // withFaults is the service's fault middleware: it injects the
@@ -42,6 +51,7 @@ func (s *Server) withFaults(site string, h http.HandlerFunc) http.Handler {
 	var seq atomic.Uint64
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if d := s.inj.HandlerDelay(fmt.Sprintf("%s/%d", site, seq.Add(1))); d > 0 {
+			s.met.fault("handler_delay").Inc()
 			time.Sleep(d)
 		}
 		h(w, r)
@@ -58,6 +68,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// apiError is the JSON body of load-shed (429) and drain (503)
+// responses: the error plus current queue occupancy, so clients can
+// size their backoff instead of guessing.
+type apiError struct {
+	Error      string `json:"error"`
+	Queued     int    `json:"queued"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// writeShedError renders an admission rejection with queue occupancy.
+func (s *Server) writeShedError(w http.ResponseWriter, code int, err error) {
+	s.mu.Lock()
+	queued := s.queuedN
+	s.mu.Unlock()
+	writeJSON(w, code, apiError{Error: err.Error(), Queued: queued, QueueDepth: s.opts.QueueDepth})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -82,13 +109,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, code, st)
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
+			s.writeShedError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.DrainTimeout/time.Second)+1))
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.writeShedError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrNotDurable):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.writeShedError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
@@ -200,4 +227,80 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
+}
+
+// Readiness is the /readyz document: the overall verdict plus every
+// dependency check's outcome ("ok" or the failure detail).
+type Readiness struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks"`
+}
+
+// Readiness runs the real dependency checks behind /readyz: admissions
+// open (flips during SIGTERM drain), the whole worker pool alive, queue
+// headroom left, and the state directory actually writable (probed with
+// a real write, since that is what every journal append needs).
+func (s *Server) Readiness() Readiness {
+	s.mu.Lock()
+	draining, queued := s.draining, s.queuedN
+	s.mu.Unlock()
+	r := Readiness{Ready: true, Checks: map[string]string{}}
+	check := func(name string, ok bool, detail string) {
+		if ok {
+			r.Checks[name] = "ok"
+			return
+		}
+		r.Checks[name] = detail
+		r.Ready = false
+	}
+	check("admissions", !draining, "draining")
+	alive := int(s.workersAlive.Load())
+	check("workers", alive >= s.opts.Workers, fmt.Sprintf("%d/%d workers alive", alive, s.opts.Workers))
+	check("queue", queued < s.opts.QueueDepth, fmt.Sprintf("full (%d/%d)", queued, s.opts.QueueDepth))
+	if s.opts.StateDir == "" {
+		r.Checks["journal"] = "ok (in-memory)"
+	} else {
+		probe := filepath.Join(s.opts.StateDir, ".readyz-probe")
+		err := os.WriteFile(probe, []byte("ok\n"), 0o644)
+		if err == nil {
+			os.Remove(probe)
+		}
+		check("journal", err == nil, fmt.Sprintf("state dir not writable: %v", err))
+	}
+	return r
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := s.Readiness()
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
+}
+
+// flightRecordResponse is the /api/debug/flightrecord payload.
+type flightRecordResponse struct {
+	Events []telemetry.FlightEvent `json:"events"`
+	// Path is set when ?save=1 also persisted a dump file.
+	Path string `json:"path,omitempty"`
+}
+
+// handleFlightRecord serves the flight recorder's ring, oldest event
+// first. ?save=1 additionally writes a dump file under the state
+// directory (subject to the per-process dump cap) and reports its path.
+func (s *Server) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
+	resp := flightRecordResponse{Events: s.flight.Events()}
+	if resp.Events == nil {
+		resp.Events = []telemetry.FlightEvent{}
+	}
+	if r.URL.Query().Get("save") == "1" {
+		path, err := s.flight.Dump("on-demand")
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Path = path
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -24,9 +24,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"asmsim/internal/exp"
 	"asmsim/internal/faults"
+	"asmsim/internal/telemetry"
 )
 
 // Journal event names. A job's life is submitted -> started (once per
@@ -49,6 +51,7 @@ type Entry struct {
 	Seq         uint64       `json:"seq"`
 	Event       string       `json:"event"`
 	ID          string       `json:"id"`
+	TraceID     string       `json:"trace_id,omitempty"`
 	Fingerprint string       `json:"fp,omitempty"`
 	Spec        *exp.JobSpec `json:"spec,omitempty"`
 	Attempt     int          `json:"attempt,omitempty"`
@@ -66,11 +69,23 @@ func (e Entry) terminal() bool {
 // in any hot path). A nil *Journal accepts appends and drops them —
 // the in-memory-only configuration.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	seq  uint64
-	inj  *faults.Injector
-	errs uint64
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	inj    *faults.Injector
+	errs   uint64
+	fsyncH *telemetry.Histogram
+}
+
+// SetFsyncHistogram records every append's fsync latency into h.
+// Nil-safe on both sides.
+func (j *Journal) SetFsyncHistogram(h *telemetry.Histogram) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.fsyncH = h
+	j.mu.Unlock()
 }
 
 func journalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
@@ -124,7 +139,10 @@ func (j *Journal) Append(e Entry) error {
 		j.errs++
 		return fmt.Errorf("serve: journal write: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	start := time.Now()
+	err = j.f.Sync()
+	j.fsyncH.Observe(time.Since(start))
+	if err != nil {
 		j.errs++
 		return fmt.Errorf("serve: journal sync: %w", err)
 	}

@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asmsim/internal/dash"
@@ -45,10 +49,16 @@ func (s State) Terminal() bool {
 
 // JobStatus is the client-visible view of one job.
 type JobStatus struct {
-	ID          string      `json:"id"`
-	Fingerprint string      `json:"fingerprint"`
-	State       State       `json:"state"`
-	Spec        exp.JobSpec `json:"spec"`
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	// TraceID is the job's correlation ID, minted at admission and
+	// carried through structured logs, journal entries, per-quantum
+	// records and SSE frames. It is derived deterministically from the
+	// job ID and fingerprint so crash-recovery replays reconstruct the
+	// same ID and a job's whole life greps as one token across restarts.
+	TraceID string      `json:"trace_id,omitempty"`
+	State   State       `json:"state"`
+	Spec    exp.JobSpec `json:"spec"`
 	// Cached marks a job answered from the full-run result cache
 	// without simulating anything.
 	Cached bool `json:"cached,omitempty"`
@@ -61,7 +71,7 @@ type JobStatus struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Partial marks a done job whose table carries a partial-results
 	// manifest (some sweep items failed or the run was cut short).
-	Partial bool `json:"partial,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
 	Error   string `json:"error,omitempty"`
 }
 
@@ -69,11 +79,13 @@ type JobStatus struct {
 // are guarded by Server.mu; done closes exactly once, when the job
 // reaches a terminal state.
 type job struct {
-	status     JobStatus
-	cancel     context.CancelFunc // set while running
-	userCancel bool               // a client asked for cancellation
-	result     *exp.Table         // set before done closes
-	done       chan struct{}
+	status      JobStatus
+	cancel      context.CancelFunc // set while running
+	userCancel  bool               // a client asked for cancellation
+	result      *exp.Table         // set before done closes
+	submittedAt time.Time          // admission instant (end-to-end latency base)
+	startedAt   time.Time          // first claim by a worker (queue wait end)
+	done        chan struct{}
 }
 
 // Options configures a Server. The zero value is serviceable: two
@@ -106,6 +118,12 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Dash optionally feeds a live dashboard from every job's run.
 	Dash *dash.Server
+	// Log receives structured job lifecycle events; every record about a
+	// job carries its trace_id. Nil discards everything.
+	Log *slog.Logger
+	// FlightRingSize caps the flight recorder's event ring (default
+	// 512).
+	FlightRingSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,14 +145,26 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 10 * time.Second
 	}
+	if o.Log == nil {
+		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
 type serveMetrics struct {
 	submitted, shed, rejected, dedup, cacheHits *telemetry.Counter
 	done, failed, cancelled, retries, resumed   *telemetry.Counter
-	journalErrs                                 *telemetry.Counter
+	journalErrs, drainRejected                  *telemetry.Counter
 	queued, running                             *telemetry.Gauge
+	jobLatency, queueWait, attemptDur           *telemetry.Histogram
+	faults                                      *telemetry.Registry // "serve.faults" scope
+}
+
+// fault returns the injected-fault counter for one site
+// ("serve.faults.<site>", exported as serve_faults_injected_total with
+// a site label). Nil-safe through the registry.
+func (m *serveMetrics) fault(site string) *telemetry.Counter {
+	return m.faults.Counter(site)
 }
 
 // Server is the job service. Create with New, mount its handlers with
@@ -147,6 +177,12 @@ type Server struct {
 	store   *resultStore
 	bc      *dash.Broadcaster
 	met     serveMetrics
+	log     *slog.Logger
+	flight  *telemetry.FlightRecorder
+
+	// workersAlive counts worker goroutines currently in their pick
+	// loop; /readyz reports unready until the full pool is live.
+	workersAlive atomic.Int64
 
 	runCtx  context.Context // cancelled to hard-stop in-flight runs
 	runStop context.CancelFunc
@@ -195,24 +231,36 @@ func New(opts Options) (*Server, error) {
 		journal:  journal,
 		store:    store,
 		bc:       dash.NewBroadcaster(),
+		log:      opts.Log,
+		flight:   telemetry.NewFlightRecorder(opts.FlightRingSize),
 		stopPick: make(chan struct{}),
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
 		met: serveMetrics{
-			submitted:   reg.Counter("submitted"),
-			shed:        reg.Counter("shed"),
-			rejected:    reg.Counter("rejected"),
-			dedup:       reg.Counter("dedup_hits"),
-			cacheHits:   reg.Counter("cache_hits"),
-			done:        reg.Counter("done"),
-			failed:      reg.Counter("failed"),
-			cancelled:   reg.Counter("cancelled"),
-			retries:     reg.Counter("retries"),
-			resumed:     reg.Counter("resumed"),
-			journalErrs: reg.Counter("journal_errors"),
-			queued:      reg.Gauge("queued"),
-			running:     reg.Gauge("running"),
+			submitted:     reg.Counter("submitted"),
+			shed:          reg.Counter("shed"),
+			rejected:      reg.Counter("rejected"),
+			dedup:         reg.Counter("dedup_hits"),
+			cacheHits:     reg.Counter("cache_hits"),
+			done:          reg.Counter("done"),
+			failed:        reg.Counter("failed"),
+			cancelled:     reg.Counter("cancelled"),
+			retries:       reg.Counter("retries"),
+			resumed:       reg.Counter("resumed"),
+			journalErrs:   reg.Counter("journal_errors"),
+			drainRejected: reg.Counter("drain_rejected"),
+			queued:        reg.Gauge("queued"),
+			running:       reg.Gauge("running"),
+			jobLatency:    reg.Histogram("job_latency_ns"),
+			queueWait:     reg.Histogram("queue_wait_ns"),
+			attemptDur:    reg.Histogram("attempt_ns"),
+			faults:        reg.Scope("faults"),
 		},
+	}
+	s.bc.SetDropCounter(reg.Scope("sse").Counter("dropped_frames"))
+	journal.SetFsyncHistogram(reg.Histogram("journal_fsync_ns"))
+	if opts.StateDir != "" {
+		s.flight.SetDumpDir(filepath.Join(opts.StateDir, "flightrec"))
 	}
 	s.runCtx, s.runStop = context.WithCancel(context.Background())
 	recovered := s.replay(entries)
@@ -269,11 +317,13 @@ func (s *Server) replay(entries []Entry) []*job {
 		j := &job{
 			status: JobStatus{
 				ID:          id,
+				TraceID:     traceID(id, r.e.Fingerprint),
 				Fingerprint: r.e.Fingerprint,
 				Spec:        *r.e.Spec,
 				Attempts:    r.attempts,
 			},
-			done: make(chan struct{}),
+			submittedAt: time.Now(),
+			done:        make(chan struct{}),
 		}
 		switch {
 		case r.terminal:
@@ -298,6 +348,8 @@ func (s *Server) replay(entries []Entry) []*job {
 			j.status.State, j.status.Resumed = StateQueued, true
 			s.inflight[j.status.Fingerprint] = j
 			s.met.resumed.Inc()
+			s.log.Info("job resumed from journal", "trace_id", j.status.TraceID, "job", id, "fp", j.status.Fingerprint)
+			s.flight.Note("resumed", j.status.TraceID, id, "re-enqueued from journal")
 			rerun = append(rerun, j)
 		}
 		s.jobs[id] = j
@@ -319,7 +371,9 @@ func (s *Server) Submit(spec exp.JobSpec) (JobStatus, error) {
 	fp := spec.Fingerprint()
 	s.mu.Lock()
 	if s.draining {
+		s.met.drainRejected.Inc()
 		s.mu.Unlock()
+		s.log.Warn("job rejected: draining", "fp", fp)
 		return JobStatus{}, ErrDraining
 	}
 	s.met.submitted.Inc()
@@ -345,11 +399,12 @@ func (s *Server) Submit(spec exp.JobSpec) (JobStatus, error) {
 	if s.queuedN >= s.opts.QueueDepth {
 		s.met.shed.Inc()
 		s.mu.Unlock()
+		s.log.Warn("job shed: queue full", "fp", fp, "queue_depth", s.opts.QueueDepth)
 		return JobStatus{}, ErrQueueFull
 	}
 	j := s.newJobLocked(spec, fp)
 	j.status.State = StateQueued
-	if err := s.journalAppend(Entry{Event: evSubmitted, ID: j.status.ID, Fingerprint: fp, Spec: &spec}); err != nil {
+	if err := s.journalAppend(Entry{Event: evSubmitted, ID: j.status.ID, TraceID: j.status.TraceID, Fingerprint: fp, Spec: &spec}); err != nil {
 		// Not durable -> not admitted; undo the record so a retry of the
 		// same spec is a fresh submission.
 		delete(s.jobs, j.status.ID)
@@ -377,6 +432,8 @@ func (s *Server) Submit(spec exp.JobSpec) (JobStatus, error) {
 	}
 	st := j.status
 	s.mu.Unlock()
+	s.log.Info("job submitted", "trace_id", st.TraceID, "job", st.ID, "fp", st.Fingerprint, "experiment", st.Spec.Experiment)
+	s.flight.Note("submitted", st.TraceID, st.ID, st.Spec.Experiment)
 	s.publish(st)
 	return st, nil
 }
@@ -389,15 +446,30 @@ var (
 	ErrNotFound   = errors.New("serve: no such job")
 )
 
+// traceID derives a job's correlation ID from its identity: FNV-64a of
+// id and fingerprint, in hex. Deterministic on purpose — a journal
+// replay after a crash reconstructs the same trace ID the original
+// process logged, so one grep follows a job across restarts.
+func traceID(id, fp string) string {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(fp))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 func (s *Server) newJobLocked(spec exp.JobSpec, fp string) *job {
 	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
 	j := &job{
 		status: JobStatus{
-			ID:          fmt.Sprintf("job-%d", s.nextID),
+			ID:          id,
+			TraceID:     traceID(id, fp),
 			Fingerprint: fp,
 			Spec:        spec,
 		},
-		done: make(chan struct{}),
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
 	}
 	s.jobs[j.status.ID] = j
 	s.order = append(s.order, j.status.ID)
@@ -477,9 +549,11 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		delete(s.inflight, j.status.Fingerprint)
 		s.met.cancelled.Inc()
 		st := j.status
-		s.journalAppend(Entry{Event: evCancelled, ID: id, Fingerprint: st.Fingerprint})
+		s.journalAppend(Entry{Event: evCancelled, ID: id, TraceID: st.TraceID, Fingerprint: st.Fingerprint})
 		close(j.done)
 		s.mu.Unlock()
+		s.log.Info("job cancelled while queued", "trace_id", st.TraceID, "job", id)
+		s.flight.Note("cancelled", st.TraceID, id, "cancelled while queued")
 		s.publish(st)
 		return st, nil
 	}
@@ -517,12 +591,18 @@ func (s *Server) journalAppend(e Entry) error {
 	err := s.journal.Append(e)
 	if err != nil {
 		s.met.journalErrs.Inc()
+		if errors.Is(err, faults.ErrInjected) {
+			s.met.fault("journal_write").Inc()
+		}
+		s.log.Warn("journal append failed", "trace_id", e.TraceID, "job", e.ID, "event", e.Event, "err", err)
 	}
 	return err
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	s.workersAlive.Add(1)
+	defer s.workersAlive.Add(-1)
 	for {
 		// Drain wins over queued work: once stopPick closes, queued jobs
 		// stay journaled-but-unstarted and the next start resumes them.
@@ -541,6 +621,8 @@ func (s *Server) worker() {
 			claimed := j.status.State == StateQueued
 			if claimed {
 				j.status.State = StateRunning
+				j.startedAt = time.Now()
+				s.met.queueWait.Observe(j.startedAt.Sub(j.submittedAt))
 				s.runningN++
 				s.met.running.Set(int64(s.runningN))
 			}
@@ -549,6 +631,7 @@ func (s *Server) worker() {
 			if !claimed {
 				continue
 			}
+			s.log.Info("job claimed", "trace_id", st.TraceID, "job", st.ID)
 			s.publish(st)
 			s.runJob(j)
 			s.mu.Lock()
@@ -630,10 +713,17 @@ func (s *Server) runJob(j *job) {
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		j.status.Attempts = attempt + 1
-		id := j.status.ID
+		id, tid := j.status.ID, j.status.TraceID
 		s.mu.Unlock()
-		s.journalAppend(Entry{Event: evStarted, ID: id, Fingerprint: fp, Attempt: attempt + 1})
+		s.journalAppend(Entry{Event: evStarted, ID: id, TraceID: tid, Fingerprint: fp, Attempt: attempt + 1})
+		s.log.Info("attempt started", "trace_id", tid, "job", id, "attempt", attempt+1)
+		s.flight.Note("attempt", tid, id, fmt.Sprintf("attempt %d", attempt+1))
+		stop := s.met.attemptDur.Start()
 		table, err = s.attempt(ctx, j, attempt)
+		stop()
+		if err != nil {
+			s.log.Warn("attempt failed", "trace_id", tid, "job", id, "attempt", attempt+1, "err", err)
+		}
 		if err == nil || ctx.Err() != nil || !transient(err) || attempt >= s.opts.Retries {
 			break
 		}
@@ -651,19 +741,29 @@ func (s *Server) runJob(j *job) {
 // own per-item recovery) becomes this attempt's error.
 func (s *Server) attempt(ctx context.Context, j *job, attempt int) (t *exp.Table, err error) {
 	s.mu.Lock()
-	spec, id, fp := j.status.Spec, j.status.ID, j.status.Fingerprint
+	spec, id, fp, tid := j.status.Spec, j.status.ID, j.status.Fingerprint, j.status.TraceID
 	s.mu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
 			t, err = nil, fmt.Errorf("serve: job %s attempt %d panicked: %v", id, attempt+1, r)
+			s.flight.Note("panic", tid, id, fmt.Sprint(r))
+			if path, derr := s.flight.Dump("panic"); path != "" && derr == nil {
+				s.log.Error("flight record dumped", "trace_id", tid, "job", id, "reason", "panic", "path", path)
+			}
 		}
 	}()
 	if err := s.inj.DropJob(fp, attempt); err != nil {
+		s.met.fault("job_drop").Inc()
+		s.flight.Note("fault", tid, id, "injected job drop")
+		if path, derr := s.flight.Dump("injected-fault"); path != "" && derr == nil {
+			s.log.Warn("flight record dumped", "trace_id", tid, "job", id, "reason", "injected fault", "path", path)
+		}
 		return nil, fmt.Errorf("serve: job %s: %w", id, err)
 	}
 	return spec.Run(ctx, func(sc *exp.Scale) {
 		sc.Telemetry.Metrics = s.opts.Metrics
-		sc.Telemetry.Recorder = s.bc
+		sc.Telemetry.Recorder = telemetry.Fanout(s.bc, s.flight)
+		sc.Telemetry.TraceID = tid
 		sc.Dash = s.opts.Dash
 	})
 }
@@ -677,7 +777,7 @@ func (s *Server) finish(j *job, ctx context.Context, table *exp.Table, err error
 	// and must not poison the cache.
 	clean := err == nil && ctx.Err() == nil
 	s.mu.Lock()
-	fp, id := j.status.Fingerprint, j.status.ID
+	fp, id, tid := j.status.Fingerprint, j.status.ID, j.status.TraceID
 	userCancel := j.userCancel
 	s.mu.Unlock()
 	var storeErr error
@@ -695,7 +795,7 @@ func (s *Server) finish(j *job, ctx context.Context, table *exp.Table, err error
 			j.status.Error = storeErr.Error()
 		}
 		s.met.done.Inc()
-		entry = &Entry{Event: evDone, ID: id, Fingerprint: fp, Partial: j.status.Partial}
+		entry = &Entry{Event: evDone, ID: id, TraceID: tid, Fingerprint: fp, Partial: j.status.Partial}
 	case userCancel:
 		j.status.State = StateCancelled
 		j.result = table // partial results, when the run got that far
@@ -704,7 +804,7 @@ func (s *Server) finish(j *job, ctx context.Context, table *exp.Table, err error
 			j.status.Error = err.Error()
 		}
 		s.met.cancelled.Inc()
-		entry = &Entry{Event: evCancelled, ID: id, Fingerprint: fp}
+		entry = &Entry{Event: evCancelled, ID: id, TraceID: tid, Fingerprint: fp}
 	case s.stopping() && ctx.Err() != nil:
 		// Drain cut it down (whether the run salvaged a partial table or
 		// not): no terminal journal entry, so the next start re-runs it
@@ -716,18 +816,30 @@ func (s *Server) finish(j *job, ctx context.Context, table *exp.Table, err error
 		j.status.State, j.status.Partial = StateDone, table.Partial()
 		j.result = table
 		s.met.done.Inc()
-		entry = &Entry{Event: evDone, ID: id, Fingerprint: fp, Partial: j.status.Partial}
+		entry = &Entry{Event: evDone, ID: id, TraceID: tid, Fingerprint: fp, Partial: j.status.Partial}
 	default:
 		j.status.State, j.status.Error = StateFailed, err.Error()
 		s.met.failed.Inc()
-		entry = &Entry{Event: evFailed, ID: id, Fingerprint: fp, Error: err.Error()}
+		entry = &Entry{Event: evFailed, ID: id, TraceID: tid, Fingerprint: fp, Error: err.Error()}
 	}
 	st := j.status
+	latency := time.Since(j.submittedAt)
 	if entry != nil {
 		s.journalAppend(*entry)
 	}
 	close(j.done)
 	s.mu.Unlock()
+	s.met.jobLatency.Observe(latency)
+	s.log.Info("job finished", "trace_id", tid, "job", id, "state", string(st.State),
+		"attempts", st.Attempts, "partial", st.Partial, "latency", latency, "err", st.Error)
+	s.flight.Note("finished", tid, id, string(st.State))
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) && !s.stopping() {
+		// The job's own deadline expired (not a drain): capture the
+		// run-up for post-mortem.
+		if path, derr := s.flight.Dump("deadline"); path != "" && derr == nil {
+			s.log.Warn("flight record dumped", "trace_id", tid, "job", id, "reason", "deadline expiry", "path", path)
+		}
+	}
 	s.publish(st)
 }
 
@@ -749,7 +861,10 @@ func (s *Server) Draining() bool {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	queued, running := s.queuedN, s.runningN
 	s.mu.Unlock()
+	s.log.Info("drain started", "queued", queued, "running", running)
+	s.flight.Note("drain", "", "", "shutdown started")
 	s.stopOnce.Do(func() { close(s.stopPick) })
 	ctx, cancel := context.WithTimeout(ctx, s.opts.DrainTimeout)
 	defer cancel()
@@ -780,5 +895,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.bc.Close()
+	s.log.Info("drain complete")
 	return s.journal.Close()
 }

@@ -165,6 +165,7 @@ type System struct {
 	telPendingWB   *telemetry.Gauge
 	telInFlightPf  *telemetry.Gauge
 	telQuantumWall *telemetry.Timer
+	telQuantumHist *telemetry.Histogram
 	quantumStart   time.Time
 	prevEpochs     uint64
 }
@@ -317,6 +318,7 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	s.telPendingWB = sc.Gauge("pending_writebacks")
 	s.telInFlightPf = sc.Gauge("inflight_prefetches")
 	s.telQuantumWall = sc.Timer("quantum_wall")
+	s.telQuantumHist = sc.Histogram("quantum_wall_ns")
 	if s.telQuantumWall != nil {
 		s.quantumStart = time.Now()
 	}
@@ -951,6 +953,7 @@ func (s *System) endQuantum(now uint64) {
 	if s.telQuantumWall != nil {
 		now := time.Now()
 		s.telQuantumWall.Observe(now.Sub(s.quantumStart))
+		s.telQuantumHist.Observe(now.Sub(s.quantumStart))
 		s.quantumStart = now
 	}
 

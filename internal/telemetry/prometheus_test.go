@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseExposition is a strict text-format (0.0.4) checker shared with
+// no one: every non-comment line must be name{labels} value, every
+// sample's family must have a preceding # TYPE line, and TYPE lines
+// must not repeat. Returns sample name -> value.
+func parseExposition(t *testing.T, body string) map[string]int64 {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lineRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+)$`)
+	types := map[string]string{}
+	samples := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition body")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if !nameRe.MatchString(name) {
+				t.Fatalf("illegal family name %q", name)
+			}
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("illegal type %q in %q", typ, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE line for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		base := m[1]
+		// Strip summary child suffixes to find the declaring family.
+		fam := base
+		for _, suf := range []string{"_sum", "_count"} {
+			if strings.HasSuffix(base, suf) {
+				if _, ok := types[strings.TrimSuffix(base, suf)]; ok {
+					fam = strings.TrimSuffix(base, suf)
+				}
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = int64(v)
+		if types[fam] == "counter" && !strings.HasSuffix(fam, "_total") {
+			t.Fatalf("counter family %s lacks _total suffix", fam)
+		}
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	sv := r.Scope("serve")
+	sv.Counter("submitted").Add(7)
+	sv.Counter("done").Add(5)
+	sv.Counter("failed").Add(2)
+	sv.Counter("cancelled").Add(1)
+	sv.Scope("faults").Counter("journal").Add(3)
+	sv.Gauge("queued").Set(4)
+	h := sv.Histogram("job_latency_ns")
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	r.Scope("exp").Scope("scheme").Timer("ASM").Observe(2 * time.Millisecond)
+	r.Scope("sim").Timer("quantum_wall").Observe(time.Millisecond)
+	r.Scope("cluster").Scope("events").Counter("drain").Inc()
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Snapshot(), DefaultPromRules())
+	body := buf.String()
+	samples := parseExposition(t, body)
+
+	checks := map[string]int64{
+		`serve_submitted_total`:                        7,
+		`serve_jobs_finished_total{state="done"}`:      5,
+		`serve_jobs_finished_total{state="failed"}`:    2,
+		`serve_jobs_finished_total{state="cancelled"}`: 1,
+		`serve_faults_injected_total{site="journal"}`:  3,
+		`serve_queued`:                       4,
+		`serve_job_latency_ns_count`:         100,
+		`serve_job_latency_ns_sum`:           5050000,
+		`serve_job_latency_ns_max`:           100000,
+		`exp_scheme_ns_count{scheme="ASM"}`:  1,
+		`exp_scheme_ns_sum{scheme="ASM"}`:    int64(2 * time.Millisecond),
+		`sim_quantum_wall_ns_count`:          1,
+		`cluster_events_total{kind="drain"}`: 1,
+	}
+	for k, want := range checks {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("missing sample %s\nbody:\n%s", k, body)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", k, got, want)
+		}
+	}
+	p50, ok := samples[`serve_job_latency_ns{quantile="0.5"}`]
+	if !ok {
+		t.Fatalf("missing p50 quantile line\n%s", body)
+	}
+	if p50 < 45_000 || p50 > 55_000 {
+		t.Errorf("p50 %d outside [45000, 55000]", p50)
+	}
+	if _, ok := samples[`serve_job_latency_ns{quantile="0.999"}`]; !ok {
+		t.Error("missing p999 quantile line")
+	}
+	if strings.Count(body, "# TYPE serve_jobs_finished_total counter") != 1 {
+		t.Error("labeled family must declare TYPE exactly once")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	rec := httptest.NewRecorder()
+	PromHandler(r, DefaultPromRules()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	b, _ := io.ReadAll(rec.Body)
+	if want := "x_total 1\n"; !strings.Contains(string(b), want) {
+		t.Fatalf("body %q missing %q", b, want)
+	}
+
+	// Nil registry serves an empty but valid payload.
+	rec = httptest.NewRecorder()
+	PromHandler(nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPromSanitizeAndEscape(t *testing.T) {
+	if got := promSanitize("sim.alone_cache.saved-cycles"); got != "sim_alone_cache_saved_cycles" {
+		t.Fatalf("sanitize: %q", got)
+	}
+	if got := promSanitize("9lives"); got != "_9lives" {
+		t.Fatalf("sanitize leading digit: %q", got)
+	}
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escape: %q", got)
+	}
+}

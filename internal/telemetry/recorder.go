@@ -54,6 +54,9 @@ type AppCounters struct {
 // workload context, the raw counters the models consume, the actual
 // slowdown when ground truth ran, and every estimator's estimate.
 type QuantumRecord struct {
+	// TraceID correlates this record with the job (or run) that
+	// produced it; see Options.TraceID. Empty outside a traced context.
+	TraceID string `json:"trace_id,omitempty"`
 	// Mix labels the workload ("+"-joined benchmark names); Scheme
 	// labels the resource-management configuration for policy runs.
 	Mix    string `json:"mix,omitempty"`
@@ -309,4 +312,9 @@ type Options struct {
 	Metrics *Registry
 	// Progress receives live sweep item start/finish notifications.
 	Progress *Progress
+	// TraceID, when set, is stamped on every QuantumRecord the run
+	// emits, correlating quantum records, structured logs, journal
+	// entries and SSE frames produced on behalf of one job. It carries
+	// no simulation semantics and never affects results.
+	TraceID string
 }

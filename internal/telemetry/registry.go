@@ -142,6 +142,7 @@ type registryData struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // Registry hands out named metrics. Handles are resolved once (with a
@@ -159,6 +160,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
 	}}
 }
 
@@ -223,17 +225,39 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	d := r.data
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	full := r.prefix + name
+	h := d.hists[full]
+	if h == nil {
+		h = &Histogram{}
+		d.hists[full] = h
+	}
+	return h
+}
+
 // Metric is one registry entry's exported state.
 type Metric struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // "counter", "gauge" or "timer"
-	// Value is the counter count or gauge value; for timers it is the
-	// event count.
+	Kind string `json:"kind"` // "counter", "gauge", "timer" or "histogram"
+	// Value is the counter count or gauge value; for timers and
+	// histograms it is the event count.
 	Value int64 `json:"value"`
-	// TotalNs, MeanNs and MaxNs are set for timers only.
+	// TotalNs, MeanNs and MaxNs are set for timers and histograms.
 	TotalNs int64 `json:"total_ns,omitempty"`
 	MeanNs  int64 `json:"mean_ns,omitempty"`
 	MaxNs   int64 `json:"max_ns,omitempty"`
+	// Quantile estimates, set for histograms only.
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P90Ns  int64 `json:"p90_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
 }
 
 // Snapshot returns every metric in the registry (including all scopes),
@@ -245,7 +269,7 @@ func (r *Registry) Snapshot() []Metric {
 	d := r.data
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]Metric, 0, len(d.counters)+len(d.gauges)+len(d.timers))
+	out := make([]Metric, 0, len(d.counters)+len(d.gauges)+len(d.timers)+len(d.hists))
 	for name, c := range d.counters {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: int64(c.Value())})
 	}
@@ -260,6 +284,21 @@ func (r *Registry) Snapshot() []Metric {
 			TotalNs: int64(t.Total()),
 			MeanNs:  int64(t.Mean()),
 			MaxNs:   int64(t.Max()),
+		})
+	}
+	for name, h := range d.hists {
+		s := h.Snapshot()
+		out = append(out, Metric{
+			Name:    name,
+			Kind:    "histogram",
+			Value:   int64(s.Count),
+			TotalNs: int64(s.Sum),
+			MeanNs:  int64(s.Mean()),
+			MaxNs:   int64(s.Max),
+			P50Ns:   int64(s.Quantile(0.50)),
+			P90Ns:   int64(s.Quantile(0.90)),
+			P99Ns:   int64(s.Quantile(0.99)),
+			P999Ns:  int64(s.Quantile(0.999)),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
