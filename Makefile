@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/... ./internal/dash/... ./internal/serve/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/dram/... ./internal/cluster/... ./internal/faults/... ./internal/telemetry/... ./internal/evtrace/... ./internal/dash/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -30,10 +30,15 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='SweepAccuracy|RunAccuracyAllocs' -benchtime=1x -count=1 ./internal/exp/
 	$(GO) test -run='^$$' -bench='RunQuanta|SystemTick$$|AloneProfile' -benchtime=1x -count=1 ./internal/sim/
 
-# bench-json records the alone-cache speedup benchmarks as a JSON
-# artifact (BENCH_sweep.json) for cross-run comparison.
+# bench-json records the perf-guard benchmarks as JSON artifacts for
+# cross-run comparison: BENCH_sweep.json holds the alone-cache speedup
+# sweeps, BENCH_tick.json the tick-loop benchmarks plus the skip-ahead
+# on/off pairs (the memory-intensive pair is the skip-ahead acceptance
+# measurement).
 bench-json:
 	$(GO) test -run='^$$' -bench='SweepAccuracy' -benchmem -count=1 ./internal/exp/ | $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+	{ $(GO) test -run='^$$' -bench='RunQuanta|SystemTick$$|AloneProfile' -benchmem -count=1 ./internal/sim/ ; \
+	  $(GO) test -run='^$$' -bench='SweepAccuracyMemIntensive' -benchmem -count=1 ./internal/exp/ ; } | $(GO) run ./cmd/benchjson -o BENCH_tick.json
 
 # trace-smoke runs a small contended mix with event tracing enabled and
 # validates that the emitted file is well-formed Perfetto-loadable

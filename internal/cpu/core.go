@@ -111,26 +111,49 @@ func (c *Core) Stores() uint64 { return c.stores }
 // memory stall time used for MISE's alpha).
 func (c *Core) MemStallCycles() uint64 { return c.memStall }
 
+// ForcedWakeInterval is the period of the sleep failsafe: a blocked core
+// forces one retire/fetch attempt whenever the cycle counter crosses a
+// multiple of this interval, bounding the damage of a missed wake-up.
+// The skip-ahead fast path (sim.System) must never jump across one of
+// these boundaries while any core is blocked, so the failsafe observes
+// the identical cycle sequence with skipping on or off.
+const ForcedWakeInterval = 1 << 16
+
+// forcedWakeMask selects the low bits that are zero on a failsafe cycle.
+const forcedWakeMask = ForcedWakeInterval - 1
+
 // Tick advances the core by one cycle: retire completed instructions in
 // order, then fetch/issue new ones.
 func (c *Core) Tick(now uint64) {
 	if c.blocked {
-		if now&0xFFFF == 0 {
-			// Failsafe against a missed wake-up; counted so tests can
-			// assert it never fires.
-			c.forcedWakes++
+		if now&forcedWakeMask == 0 {
+			// Failsafe against a missed wake-up: force one retire/fetch
+			// attempt. Only a productive wake — one that retires or
+			// issues something — indicates a genuinely missed wake-up,
+			// and only those count toward ForcedWakes; an attempt that
+			// finds nothing to do re-blocks with no state change.
 			c.blocked = false
-		} else {
-			c.memStall++
+			r0, n0 := c.retired, c.next
+			c.retire(now)
+			stall := c.fetch(now)
+			if c.retired != r0 || c.next != n0 {
+				c.forcedWakes++
+			}
+			c.reblock(stall)
 			return
 		}
+		c.memStall++
+		return
 	}
 	c.retire(now)
-	stall := c.fetch(now)
-	// Sleep until a memory completion when nothing can change without
-	// one: the head is an outstanding miss and fetch cannot proceed
-	// (window full, MSHRs exhausted, or a dependent load). Write-queue
-	// rejections are excluded — they clear on DRAM ticks, not fills.
+	c.reblock(c.fetch(now))
+}
+
+// reblock puts the core back to sleep when nothing can change without a
+// memory completion: the head is an outstanding miss and fetch cannot
+// proceed (window full, MSHRs exhausted, or a dependent load). Write-queue
+// rejections are excluded — they clear on DRAM ticks, not fills.
+func (c *Core) reblock(stall stallKind) {
 	if c.size > 0 && c.win[c.head].pending {
 		if c.size == len(c.win) || stall == stallMem {
 			c.blocked = true
@@ -142,7 +165,20 @@ func (c *Core) Tick(now uint64) {
 // core (fills, MSHR releases).
 func (c *Core) Wake() { c.blocked = false }
 
-// ForcedWakes returns how often the failsafe fired (0 in a correct run).
+// Blocked reports whether the core is asleep waiting for a memory
+// completion. While blocked, a Tick on a non-failsafe cycle only
+// increments the memory-stall counter — the invariant the skip-ahead
+// fast path relies on to advance blocked cores in bulk via SkipStall.
+func (c *Core) Blocked() bool { return c.blocked }
+
+// SkipStall accounts w blocked cycles in one step. It is only valid while
+// the core is blocked and no cycle in the window is a forced-wake
+// boundary; under those conditions it is bit-identical to w Ticks.
+func (c *Core) SkipStall(w uint64) { c.memStall += w }
+
+// ForcedWakes returns how often the failsafe found runnable work on a
+// blocked core (0 in a correct run: every wake-up source must call Wake
+// or Complete, so the failsafe should only ever find nothing to do).
 func (c *Core) ForcedWakes() uint64 { return c.forcedWakes }
 
 // stallKind classifies why fetch stopped this cycle.

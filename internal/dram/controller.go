@@ -41,9 +41,21 @@ type Controller struct {
 	writeQCap int
 	draining  bool
 
+	// bankReads/bankWrites count queued requests per bank. They let the
+	// pick fast-outs and NextEventCycle prove "no bank with work is free"
+	// by scanning the (few) banks instead of the (up to 128-entry) queues
+	// — pure bookkeeping that changes no scheduling decision.
+	bankReads  []int32
+	bankWrites []int32
+
 	inService []*Request
+	// minComplete is the earliest Complete cycle among inService requests
+	// (NoEventCycle when empty): completeFinished's early-out. Most ticks
+	// complete nothing, so the min check replaces the in-service scan.
+	minComplete uint64
 
 	policy       Scheduler
+	purePick     bool // policy.Pick mutates no state (FR-FCFS): see NextEventCycle
 	priorityApp  int
 	lastCmdApp   int
 	lastCmdCycle uint64
@@ -58,6 +70,11 @@ type Controller struct {
 	latencySum     []uint64
 	rowHits        []uint64
 	servedReads    []uint64 // reads served per app, reset per policy window (TCM)
+
+	// blockedScratch is account's per-app interfered-tick tally, allocated
+	// once (zeroed per call over numApps entries instead of a 64-slot
+	// stack array's 512 bytes).
+	blockedScratch []int
 
 	busyTicks  uint64 // DRAM ticks with a data transfer in flight
 	totalTicks uint64
@@ -81,6 +98,8 @@ func NewController(t Timing, g Geometry, channel, numApps int, policy Scheduler)
 		channel:        channel,
 		numApps:        numApps,
 		banks:          make([]bankState, g.BanksPerChan),
+		bankReads:      make([]int32, g.BanksPerChan),
+		bankWrites:     make([]int32, g.BanksPerChan),
 		readQCap:       128,
 		writeQCap:      64,
 		policy:         policy,
@@ -94,10 +113,16 @@ func NewController(t Timing, g Geometry, channel, numApps int, policy Scheduler)
 		latencySum:     make([]uint64, numApps),
 		rowHits:        make([]uint64, numApps),
 		servedReads:    make([]uint64, numApps),
+		blockedScratch: make([]int, numApps),
+		minComplete:    NoEventCycle,
 	}
 	if t.RefreshEnabled() {
 		c.refreshCountdown = uint64(t.TREFI)
 	}
+	// FR-FCFS scans the queue without touching scheduler state; PARBS
+	// (batch formation/marking) and TCM (rank shuffling) mutate on every
+	// Pick, so their ticks are never skippable while reads are queued.
+	_, c.purePick = policy.(*FRFCFS)
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 		c.banks[i].occupant = -1
@@ -148,12 +173,14 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 			return false
 		}
 		c.writeQ = append(c.writeQ, r)
+		c.bankWrites[r.bank]++
 		return true
 	}
 	if len(c.readQ) >= c.readQCap {
 		return false
 	}
 	c.readQ = append(c.readQ, r)
+	c.bankReads[r.bank]++
 	c.outstanding[r.App]++
 	return true
 }
@@ -211,9 +238,172 @@ func (c *Controller) Tick(now uint64) {
 	}
 }
 
+// NoEventCycle is NextEventCycle's "fully quiescent" return: no future
+// tick of this controller can change observable state until new requests
+// arrive.
+const NoEventCycle = ^uint64(0)
+
+// NextEventCycle returns the earliest CPU cycle — on the DRAM-tick grid
+// anchored at nextTick, the cycle of the controller's next Tick — at
+// which a Tick can change *scheduling* state. Every tick strictly before
+// the returned cycle is a frozen tick: no completion, refresh, or issue,
+// every queued read's bank stays busy, and the queues are unchanged, so
+// the per-tick accounting (if any) charges the identical amounts each
+// tick and SkipTicks can apply the whole run in one call, bit-identical
+// to ticking through it. It returns nextTick itself when the very next
+// tick may do work, and NoEventCycle when no pending work exists at all.
+//
+// The frozen-window argument, per Tick phase:
+//   - policy Pick: FR-FCFS is a pure scan that picks nothing while every
+//     queued read's bank is busy; PARBS and TCM mutate batch or shuffle
+//     state on every Pick whenever reads are queued, so nextTick is
+//     returned for them (purePick).
+//   - completeFinished: fires at the first tick at or after the earliest
+//     in-service Complete cycle (minComplete).
+//   - refresh: the countdown fires refreshCountdown-1 ticks after
+//     nextTick (the next tick itself decrements it to countdown-1).
+//   - issue: a queued read (or, when draining or with no reads queued, a
+//     queued write) issues at the first tick its bank is free, so the
+//     window ends where the earliest request-holding bank frees.
+//   - account: early-returns for a single app or an empty read queue;
+//     otherwise, with every queued read's bank busy all window, each
+//     read's interference cause is its bank occupant, fixed for the
+//     whole window — SkipTicks replays those constant charges.
+//   - updateDrainMode: a function of the queue lengths only, which are
+//     frozen while the caller skips (no enqueues happen), so it is
+//     idempotent across the window.
+func (c *Controller) NextEventCycle(nextTick uint64) uint64 {
+	if len(c.readQ) > 0 && !c.purePick {
+		return nextTick
+	}
+	ratio := uint64(c.timing.CPUPerDRAM)
+	next := uint64(NoEventCycle)
+	// alignUp maps an arbitrary CPU cycle to the first tick-grid cycle at
+	// or after it: the tick at which the controller observes it.
+	alignUp := func(x uint64) uint64 {
+		if x <= nextTick {
+			return nextTick
+		}
+		return nextTick + (x-nextTick+ratio-1)/ratio*ratio
+	}
+	if c.minComplete != NoEventCycle {
+		if t := alignUp(c.minComplete); t < next {
+			next = t
+		}
+	}
+	if c.refreshCountdown > 0 {
+		if t := nextTick + (c.refreshCountdown-1)*ratio; t < next {
+			next = t
+		}
+	}
+	for i := range c.banks {
+		if c.bankReads[i] > 0 {
+			if t := alignUp(c.banks[i].busyUntil); t < next {
+				next = t
+			}
+		}
+	}
+	if len(c.writeQ) > 0 && (c.draining || len(c.readQ) == 0) {
+		for i := range c.banks {
+			if c.bankWrites[i] > 0 {
+				if t := alignUp(c.banks[i].busyUntil); t < next {
+					next = t
+				}
+			}
+		}
+	}
+	return next
+}
+
+// SkipTicks advances the controller over n consecutive frozen ticks at
+// cycles nextTick, nextTick+ratio, ... — all strictly before
+// NextEventCycle(nextTick) — bit-identical to calling Tick n times. The
+// tick counter, the bus-busy tally, and the refresh countdown apply in
+// closed form; with multiple apps and queued reads, the per-tick
+// interference accounting is replayed for the window: integer charges
+// (per-request interference, per-cause ledger, queueing cycles) multiply
+// out exactly, and each float accumulator receives the same n identical
+// adds it would see ticking through, preserving bit-equality.
+func (c *Controller) SkipTicks(nextTick uint64, n uint64) {
+	c.totalTicks += n
+	ratio := uint64(c.timing.CPUPerDRAM)
+	if c.busBusyUntil > nextTick {
+		busy := (c.busBusyUntil - nextTick + ratio - 1) / ratio
+		if busy > n {
+			busy = n
+		}
+		c.busyTicks += busy
+	}
+	if c.refreshCountdown > 0 {
+		// n < refreshCountdown is guaranteed by the NextEventCycle bound,
+		// so the countdown can never fire (or wrap) inside the window.
+		c.refreshCountdown -= n
+	}
+	if c.numApps == 1 || len(c.readQ) == 0 {
+		return
+	}
+	// Frozen-window accounting: every queued read's bank is busy for the
+	// whole window (NextEventCycle ends it where the first one frees), so
+	// a read is interfered each tick iff its bank's occupant is another
+	// app (or -1, a refresh window) — account's bank-busy branch with a
+	// constant cause; the bus/command-slot branches are unreachable.
+	blocked := c.blockedScratch
+	for i := range blocked {
+		blocked[i] = 0
+	}
+	for _, r := range c.readQ {
+		b := &c.banks[r.bank]
+		if b.occupant == r.App {
+			continue // held up by its own bank: not interference
+		}
+		cause := b.occupant
+		r.addInterference(ratio * n)
+		if r.App < len(blocked) {
+			blocked[r.App]++
+		}
+		if c.attrib != nil {
+			c.attrib.add(r.App, cause, ratio*n)
+		}
+		if r.Causes != nil {
+			ci := cause
+			if ci < 0 || ci >= len(r.Causes)-1 {
+				ci = len(r.Causes) - 1
+			}
+			r.Causes[ci] += ratio * n
+		}
+	}
+	for app := 0; app < c.numApps && app < len(blocked); app++ {
+		if bn := blocked[app]; bn > 0 {
+			par := c.outstanding[app]
+			if par < bn {
+				par = bn
+			}
+			contrib := float64(ratio) * float64(bn) / float64(par)
+			// n repeated adds, not contrib*n: each accumulator must see
+			// the exact float operation sequence the ticked path applies.
+			for j := uint64(0); j < n; j++ {
+				c.interfCycles[app] += contrib
+			}
+			if c.attrib != nil {
+				for j := uint64(0); j < n; j++ {
+					c.attrib.addScaled(app, contrib)
+				}
+			}
+		}
+	}
+	if p := c.priorityApp; p >= 0 && p < len(blocked) && blocked[p] > 0 && c.lastCmdApp != p {
+		c.queueingCycles[p] += ratio * n
+	}
+}
+
 // completeFinished fires Done callbacks for requests whose data has fully
-// transferred.
+// transferred. The minComplete early-out makes the common
+// nothing-due-this-tick case a single compare.
 func (c *Controller) completeFinished(now uint64) {
+	if c.minComplete > now {
+		return
+	}
+	min := uint64(NoEventCycle)
 	kept := c.inService[:0]
 	for _, r := range c.inService {
 		if r.Complete <= now {
@@ -230,9 +420,13 @@ func (c *Controller) completeFinished(now uint64) {
 			}
 			continue
 		}
+		if r.Complete < min {
+			min = r.Complete
+		}
 		kept = append(kept, r)
 	}
 	c.inService = kept
+	c.minComplete = min
 }
 
 // updateDrainMode applies write-queue watermarks.
@@ -251,6 +445,21 @@ func (c *Controller) bankFree(r *Request, now uint64) bool {
 	return c.banks[r.bank].busyUntil <= now
 }
 
+// anyBankFree reports whether any bank holding queued requests (per the
+// counts slice — bankReads or bankWrites) can accept a command at now.
+// When it returns false, no pick over that queue can succeed, so callers
+// may skip the full queue scan. In a saturated system most ticks issue
+// nothing (the data bus serializes one transfer per TBurst ticks), so
+// this bank-count check replaces the dominant futile queue walks.
+func (c *Controller) anyBankFree(counts []int32, now uint64) bool {
+	for i, n := range counts {
+		if n > 0 && c.banks[i].busyUntil <= now {
+			return true
+		}
+	}
+	return false
+}
+
 // rowHit reports whether r would hit in its bank's row buffer right now.
 func (c *Controller) rowHit(r *Request) bool {
 	return c.banks[r.bank].openRow == int64(r.row)
@@ -262,9 +471,18 @@ func (c *Controller) pickRead(now uint64) *Request {
 	if len(c.readQ) == 0 {
 		return nil
 	}
+	free := c.anyBankFree(c.bankReads, now)
+	if !free && c.purePick {
+		// Nothing serviceable and the policy keeps no per-Pick state:
+		// the scan would come up empty. PARBS (batch formation) and TCM
+		// (shuffle clock) mutate on every Pick and must still be
+		// consulted even when they cannot issue.
+		return nil
+	}
 	// Priority overlay: if the highest-priority app has any serviceable
-	// request, the policy chooses only among those.
-	if c.priorityApp >= 0 {
+	// request, the policy chooses only among those. Serviceable requires
+	// a free bank, so the overlay scan is skipped along with the rest.
+	if free && c.priorityApp >= 0 {
 		var best *Request
 		bestIdx := -1
 		for i, r := range c.readQ {
@@ -291,11 +509,15 @@ func (c *Controller) pickRead(now uint64) *Request {
 // removeRead deletes index i from the read queue, preserving order (age
 // order matters to every policy).
 func (c *Controller) removeRead(i int) {
+	c.bankReads[c.readQ[i].bank]--
 	c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
 }
 
 // pickWrite drains writes oldest-row-hit-first.
 func (c *Controller) pickWrite(now uint64) *Request {
+	if len(c.writeQ) == 0 || !c.anyBankFree(c.bankWrites, now) {
+		return nil
+	}
 	bestIdx := -1
 	for i, r := range c.writeQ {
 		if !c.bankFree(r, now) {
@@ -313,6 +535,7 @@ func (c *Controller) pickWrite(now uint64) *Request {
 		return nil
 	}
 	r := c.writeQ[bestIdx]
+	c.bankWrites[r.bank]--
 	c.writeQ = append(c.writeQ[:bestIdx], c.writeQ[bestIdx+1:]...)
 	return r
 }
@@ -387,6 +610,9 @@ func (c *Controller) issue(r *Request, now uint64) {
 	if !r.Write {
 		c.outstanding[r.App]--
 	}
+	if complete < c.minComplete {
+		c.minComplete = complete
+	}
 	c.inService = append(c.inService, r)
 }
 
@@ -413,7 +639,10 @@ func (c *Controller) account(now uint64) {
 	// interfered this tick when its bank is occupied by another app's
 	// request, the data bus is transferring another app's data, or the
 	// controller's last command slot (previous tick) went to another app.
-	var blocked [64]int
+	blocked := c.blockedScratch
+	for i := range blocked {
+		blocked[i] = 0
+	}
 	busBusyOther := c.busBusyUntil > now
 	cmdSlotTaken := c.anyIssued && now-c.lastCmdCycle <= ratio
 	for _, r := range c.readQ {

@@ -57,6 +57,29 @@ func (s *System) Tick(now uint64) {
 	}
 }
 
+// NextEventCycle returns the earliest CPU cycle at which any channel's
+// Tick can change observable state, given that every channel's next tick
+// is at nextTick (channels tick in lockstep). Ticks strictly before the
+// returned cycle are pure countdown ticks on every channel; NoEventCycle
+// means the whole memory system is quiescent.
+func (s *System) NextEventCycle(nextTick uint64) uint64 {
+	next := uint64(NoEventCycle)
+	for _, c := range s.channels {
+		if t := c.NextEventCycle(nextTick); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// SkipTicks advances every channel over n pure countdown ticks starting
+// at nextTick in closed form (see Controller.SkipTicks).
+func (s *System) SkipTicks(nextTick uint64, n uint64) {
+	for _, c := range s.channels {
+		c.SkipTicks(nextTick, n)
+	}
+}
+
 // SetPriorityApp installs the epoch highest-priority app on every channel.
 func (s *System) SetPriorityApp(app int) {
 	for _, c := range s.channels {

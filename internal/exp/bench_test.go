@@ -57,6 +57,55 @@ func BenchmarkSweepAccuracySharedAlone(b *testing.B) { runSweepBench(b, true) }
 // re-simulates a private alone run per app.
 func BenchmarkSweepAccuracyPrivateAlone(b *testing.B) { runSweepBench(b, false) }
 
+// memSweepPool is the memory-intensive pool: the paper's high-MPKI
+// benchmarks, whose cores sleep on outstanding misses for most of their
+// cycles — the workload class the skip-ahead fast path targets.
+func memSweepPool(b *testing.B) []workload.Spec {
+	b.Helper()
+	names := []string{"mcf", "libquantum", "soplex", "milc"}
+	pool := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, ok := workload.ByName(n)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", n)
+		}
+		pool[i] = sp
+	}
+	return pool
+}
+
+func runMemSweepBench(b *testing.B, disableSkip bool) {
+	sc := benchSweepScale()
+	mixes := workload.RandomMixes(memSweepPool(b), 4, sc.Workloads, sc.Seed)
+	cfg := sc.BaseConfig()
+	cfg.ATSSampledSets = 64
+	cfg.DisableSkipAhead = disableSkip
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scRun := sc
+		scRun.AloneCache = sim.NewAloneCurveCache()
+		samples, m, err := accuracySweep(context.Background(), cfg, mixes, scRun)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Ok() || len(samples) == 0 {
+			b.Fatalf("sweep lost items: %s", m.Summary())
+		}
+	}
+}
+
+// BenchmarkSweepAccuracyMemIntensive measures the accuracy sweep over
+// memory-intensive mixes with the event-driven skip-ahead fast path on
+// (the default); BenchmarkSweepAccuracyMemIntensiveSkipOff is the
+// cycle-by-cycle reference. The pair is the skip-ahead acceptance
+// measurement, recorded in BENCH_tick.json.
+func BenchmarkSweepAccuracyMemIntensive(b *testing.B) { runMemSweepBench(b, false) }
+
+// BenchmarkSweepAccuracyMemIntensiveSkipOff is the skip-ahead-disabled
+// baseline of BenchmarkSweepAccuracyMemIntensive.
+func BenchmarkSweepAccuracyMemIntensiveSkipOff(b *testing.B) { runMemSweepBench(b, true) }
+
 // BenchmarkRunAccuracyAllocs tracks the allocation profile of a single
 // accuracy run (the quantum-listener path): allocs/op guards the
 // estimates-map/samples reuse against regression.

@@ -46,10 +46,12 @@ func NewAloneProfileFromSource(cfg Config, app AppSource) (*AloneProfile, error)
 // CyclesAt returns the cycle at which the alone run has retired at least
 // instr instructions, advancing the replica as needed. Queries must be
 // non-decreasing across calls (they are: cumulative retired-instruction
-// milestones only grow).
+// milestones only grow). The replica advances via Step so memory-bound
+// stretches take the skip-ahead fast path; a skip window retires nothing,
+// so the milestone cannot be overshot.
 func (p *AloneProfile) CyclesAt(instr uint64) uint64 {
 	for p.sys.Retired(p.core) < instr {
-		p.sys.Tick()
+		p.sys.Step()
 	}
 	return p.sys.Cycle()
 }

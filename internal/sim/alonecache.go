@@ -208,8 +208,13 @@ func (c *aloneCurve) cyclesAt(n uint64) (cyc, ticked uint64) {
 	defer c.mu.Unlock()
 	for !c.covered(n) {
 		prev := c.sys.Retired(0)
-		c.sys.Tick()
-		ticked++
+		before := c.sys.Cycle()
+		// Step, not Tick: memory-bound stretches take the skip-ahead fast
+		// path. A skip window retires nothing, so every retirement still
+		// lands on its exact cycle; ticked keeps counting replica cycles
+		// simulated (skipped ones included — they are covered work).
+		c.sys.Step()
+		ticked += c.sys.Cycle() - before
 		if r := c.sys.Retired(0); r > prev {
 			c.append(r, c.sys.Cycle())
 		}

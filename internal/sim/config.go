@@ -87,6 +87,16 @@ type Config struct {
 	// 32, which preserves the historical behavior; negative is invalid.
 	WritebackBackpressure int
 
+	// DisableSkipAhead forces the cycle-by-cycle reference Tick path,
+	// turning off the event-driven skip-ahead fast path (on by default).
+	// Skip-ahead is bit-identical to the reference path — the equivalence
+	// is enforced by TestSkipAheadBitIdentical — so this knob exists only
+	// for differential testing, debugging, and benchmarking the two
+	// paths against each other. It is deliberately NOT part of
+	// Fingerprint(): results cannot depend on it, and including it would
+	// needlessly fracture the alone-curve and job result caches.
+	DisableSkipAhead bool
+
 	// Seed drives all pseudo-random streams.
 	Seed uint64
 

@@ -59,5 +59,16 @@ func (h *eventHeap) siftDown(i int) {
 	}
 }
 
+// peek returns the cycle of the earliest pending event without removing
+// it, and false when the heap is empty. The returned cycle is exactly the
+// first cycle at which popDue can yield an event — the property the
+// skip-ahead horizon depends on.
+func (h *eventHeap) peek() (uint64, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].cycle, true
+}
+
 // len returns the number of pending events.
 func (h *eventHeap) len() int { return len(h.items) }

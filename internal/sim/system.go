@@ -136,6 +136,13 @@ type System struct {
 	inFlightPf map[uint64]bool
 	pfLines    map[uint64]bool // prefetched, not yet referenced lines
 
+	// Event-driven skip-ahead fast path (see skipAhead). skipOn caches
+	// !cfg.DisableSkipAhead; the counters tally taken windows and the
+	// cycles they crossed.
+	skipOn      bool
+	skipWindows uint64
+	skipCycles  uint64
+
 	listeners    []QuantumListener
 	missListener MissListener
 
@@ -168,6 +175,13 @@ type System struct {
 	telQuantumHist *telemetry.Histogram
 	quantumStart   time.Time
 	prevEpochs     uint64
+
+	telSkipWindows  *telemetry.Counter
+	telSkipCycles   *telemetry.Counter
+	telForcedWakes  *telemetry.Counter
+	prevSkipWindows uint64
+	prevSkipCycles  uint64
+	prevForcedWakes uint64
 }
 
 // New builds a system running the given application specs (one per core).
@@ -199,6 +213,7 @@ func NewWithSources(cfg Config, apps []AppSource) (*System, error) {
 		apps:         append([]AppSource(nil), apps...),
 		ncores:       n,
 		epochOn:      cfg.EpochPriority,
+		skipOn:       !cfg.DisableSkipAhead,
 		cpuPerDRAM:   uint64(cfg.timing().CPUPerDRAM),
 		quantumEnd:   cfg.Quantum - 1,
 		wbLimit:      cfg.wbBackpressure(),
@@ -319,6 +334,9 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	s.telInFlightPf = sc.Gauge("inflight_prefetches")
 	s.telQuantumWall = sc.Timer("quantum_wall")
 	s.telQuantumHist = sc.Histogram("quantum_wall_ns")
+	s.telSkipWindows = sc.Counter("skip.windows")
+	s.telSkipCycles = sc.Counter("skip.cycles")
+	s.telForcedWakes = sc.Counter("core.forced_wakes")
 	if s.telQuantumWall != nil {
 		s.quantumStart = time.Now()
 	}
@@ -377,12 +395,35 @@ func (s *System) SetL2Partition(alloc []int) { s.l2.SetPartition(alloc) }
 // L2Partition returns the current shared-cache way partition, or nil.
 func (s *System) L2Partition() []int { return s.l2.Partition() }
 
-// Run advances the system by the given number of cycles.
+// Run advances the system by the given number of cycles. With skip-ahead
+// enabled (the default) it jumps over provably dead windows — never past
+// end, so callers that chunk their advancement (RunQuantaCtx) keep their
+// cancellation latency bound — and is bit-identical to ticking every
+// cycle.
 func (s *System) Run(cycles uint64) {
 	end := s.cycle + cycles
 	for s.cycle < end {
+		if s.skipOn {
+			s.skipAhead(end)
+			if s.cycle >= end {
+				return
+			}
+		}
 		s.Tick()
 	}
+}
+
+// Step advances the system to and through the next cycle where work can
+// happen: one skip-ahead window (when the fast path applies) followed by
+// exactly one Tick. Milestone-driven loops (the alone-run profiler and
+// curve cache) use it in place of bare Tick calls; a skip window never
+// retires an instruction (every core is asleep), so stepping cannot
+// overshoot a retirement milestone.
+func (s *System) Step() {
+	if s.skipOn {
+		s.skipAhead(^uint64(0))
+	}
+	s.Tick()
 }
 
 // RunQuanta advances the system by n quanta.
@@ -497,6 +538,111 @@ func (s *System) Tick() {
 	}
 	s.cycle++
 }
+
+// skipAhead advances the cycle counter across a provably dead window in
+// one closed-form step, bit-identical to ticking through it. A window
+// [now, h) is dead when every core is blocked (so no instruction can
+// retire or issue, and no new memory request can appear) and nothing is
+// due before h on any clock Tick consults:
+//
+//   - the quantum and epoch boundaries (Tick must execute AT them);
+//   - the events heap's earliest L2-hit completion;
+//   - the core forced-wake failsafe boundary (cpu.ForcedWakeInterval);
+//   - the memory system: the next DRAM tick when parked retries or
+//     writebacks exist (they are re-attempted on every tick), else
+//     dram.System.NextEventCycle — the first tick that can complete,
+//     refresh, issue, or account anything;
+//   - the caller's end bound (Run's chunk end).
+//
+// Within the window the per-cycle state changes are linear — each blocked
+// core accrues one memory-stall cycle, each app with outstanding hits or
+// misses accrues its Table-1 integrals at a frozen rate (the outstanding
+// counts cannot change while all cores sleep and no completion fires),
+// and the skipped DRAM ticks are pure countdown ticks — so all of them
+// accumulate as width × rate, and the DRAM side applies its tick count
+// via SkipTicks. Everything else (queues, caches, schedulers, drain
+// hysteresis) is frozen by construction.
+func (s *System) skipAhead(end uint64) {
+	now := s.cycle
+	// A forced-wake boundary must execute as a real Tick while cores are
+	// blocked; Tick handles it, and the horizon below stops before the
+	// next one.
+	if now&(cpu.ForcedWakeInterval-1) == 0 {
+		return
+	}
+	for _, c := range s.cores {
+		if !c.Blocked() {
+			return
+		}
+	}
+	h := end
+	if s.quantumEnd < h {
+		h = s.quantumEnd
+	}
+	if s.epochOn && s.nextEpoch < h {
+		h = s.nextEpoch
+	}
+	if due, ok := s.events.peek(); ok && due < h {
+		h = due
+	}
+	if a := (now | (cpu.ForcedWakeInterval - 1)) + 1; a < h {
+		h = a
+	}
+	nextTick := now + s.dramCountdown
+	dramNext := nextTick
+	if len(s.retryQ) == 0 && len(s.pendingWB) == 0 {
+		dramNext = s.mem.NextEventCycle(nextTick)
+	}
+	if dramNext < h {
+		h = dramNext
+	}
+	if h <= now {
+		return
+	}
+	w := h - now
+
+	// DRAM ticks inside [now, h) are pure countdown ticks: apply them in
+	// bulk, then rebase the countdown as if the last one had just run.
+	if s.dramCountdown < w {
+		k := 1 + (w-s.dramCountdown-1)/s.cpuPerDRAM
+		s.mem.SkipTicks(nextTick, k)
+		last := nextTick + (k-1)*s.cpuPerDRAM
+		s.dramCountdown = s.cpuPerDRAM - (h - last)
+	} else {
+		s.dramCountdown -= w
+	}
+
+	owner := s.epochOwner
+	apps := s.qs.Apps
+	for a := 0; a < s.ncores; a++ {
+		aq := &apps[a]
+		if s.outHits[a] > 0 {
+			aq.QuantumHitTime += w
+			if a == owner {
+				aq.EpochHitTime += w
+			}
+		}
+		if m := s.outMiss[a]; m > 0 {
+			aq.QuantumMissTime += w
+			aq.MLPIntegral += w * uint64(m)
+			if a == owner {
+				aq.EpochMissTime += w
+			}
+		}
+	}
+	for _, c := range s.cores {
+		c.SkipStall(w)
+	}
+	s.skipWindows++
+	s.skipCycles += w
+	s.cycle = h
+}
+
+// SkipWindows returns how many skip-ahead windows have been taken.
+func (s *System) SkipWindows() uint64 { return s.skipWindows }
+
+// SkipCycles returns how many cycles skip-ahead windows have crossed.
+func (s *System) SkipCycles() uint64 { return s.skipCycles }
 
 // Read implements cpu.MemPort for loads.
 func (s *System) Read(app int, addr uint64, token uint64, now uint64) (bool, uint64, bool) {
@@ -945,6 +1091,13 @@ func (s *System) endQuantum(now uint64) {
 		s.telRetired.Add(aq.Retired)
 		s.telL2Accesses.Add(aq.L2Accesses)
 		s.telL2Misses.Add(aq.L2Misses)
+	}
+	s.telSkipWindows.Add(s.skipWindows - s.prevSkipWindows)
+	s.telSkipCycles.Add(s.skipCycles - s.prevSkipCycles)
+	s.prevSkipWindows, s.prevSkipCycles = s.skipWindows, s.skipCycles
+	if fw := s.ForcedWakes(); fw != s.prevForcedWakes {
+		s.telForcedWakes.Add(fw - s.prevForcedWakes)
+		s.prevForcedWakes = fw
 	}
 	s.telHeapDepth.Set(int64(s.events.len()))
 	s.telRetryDepth.Set(int64(len(s.retryQ)))
