@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke trace-diff dash-smoke serve-smoke cover
+.PHONY: check build vet test race bench bench-smoke bench-json trace-smoke trace-diff trace-merge-smoke dash-smoke serve-smoke cover
 
 # check is the CI gate: build + vet + tests, then the race detector over
 # the concurrency-heavy packages (sweep workers, cluster rounds, faults,
 # shared telemetry/trace sinks, the job service), then the observability
 # smoke tests and the attribution regression gate.
-check: build vet test race trace-smoke trace-diff dash-smoke serve-smoke
+check: build vet test race trace-smoke trace-diff trace-merge-smoke dash-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,19 @@ trace-smoke:
 #   go run ./cmd/tracesum -format json $(TRACE_OUT) > cmd/tracesum/testdata/trace-smoke.golden.json
 trace-diff: trace-smoke
 	$(GO) run ./cmd/tracesum -diff -tol 0.02 cmd/tracesum/testdata/trace-smoke.golden.json $(TRACE_OUT)
+
+# trace-merge-smoke drives the cluster tracing pipeline end to end: the
+# migration example with per-node tracing enabled, tracesum merge over
+# the node traces (per-node pid namespacing + clock reconciliation),
+# then tracesum -check on the merged file to prove it is a well-formed
+# Perfetto-loadable trace with a cluster-level attribution matrix.
+# TRACE_MERGE_DIR overrides where the traces land (CI uploads them).
+TRACE_MERGE_DIR ?= trace-merge-smoke
+trace-merge-smoke:
+	$(GO) run ./examples/migration -trace-dir $(TRACE_MERGE_DIR)
+	$(GO) run ./cmd/tracesum merge -o $(TRACE_MERGE_DIR)/cluster.trace.json $(TRACE_MERGE_DIR)/node0.trace.json $(TRACE_MERGE_DIR)/node1.trace.json
+	$(GO) run ./cmd/tracesum -check $(TRACE_MERGE_DIR)/cluster.trace.json
+	$(GO) run ./cmd/tracesum $(TRACE_MERGE_DIR)/cluster.trace.json
 
 # dash-smoke launches a real run with the live dashboard enabled, curls
 # every /debug/asm/* endpoint (JSON shapes + one SSE quantum frame), and

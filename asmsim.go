@@ -42,6 +42,7 @@ import (
 	"asmsim/internal/metrics"
 	"asmsim/internal/model"
 	"asmsim/internal/partition"
+	"asmsim/internal/serve"
 	"asmsim/internal/sim"
 	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
@@ -119,6 +120,14 @@ type (
 	// interference attribution while a run or sweep executes. A nil
 	// *DashServer disables the dashboard at zero cost.
 	DashServer = dash.Server
+	// FleetPoller scrapes K nodes' /metrics, /debug/asm/hist and
+	// /debug/asm/attribution endpoints on an interval and merges them
+	// into the cluster-wide state served at /debug/asm/fleet (install it
+	// with DashServer.SetFleetSource).
+	FleetPoller = serve.FleetPoller
+	// FleetPollerOptions parameterizes a FleetPoller (targets, scrape
+	// interval, per-request timeout, health-metrics registry).
+	FleetPollerOptions = serve.FleetPollerOptions
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -230,6 +239,11 @@ func SummarizeTrace(quanta []QuantumAttribution) TraceSummary { return evtrace.S
 // profiler's mux (telemetry.StartProfiler) and wire into RunOptions.Dash
 // or ExperimentScale.Dash.
 func NewDashServer() *DashServer { return dash.NewServer() }
+
+// NewFleetPoller returns a poller over the given node base URLs; call
+// Start to begin sweeping, then install it with
+// DashServer.SetFleetSource to light up /debug/asm/fleet.
+func NewFleetPoller(opts FleetPollerOptions) *FleetPoller { return serve.NewFleetPoller(opts) }
 
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
@@ -502,6 +516,23 @@ func (c *Cluster) Unplaced() []string { return c.inner.Unplaced }
 // SetTelemetry attaches a metrics registry: audit-log event counters,
 // round counts, and serving/unplaced gauges under the "cluster" scope.
 func (c *Cluster) SetTelemetry(r *TelemetryRegistry) { c.inner.SetTelemetry(r) }
+
+// EnableTracing begins per-node trace capture: one Perfetto-loadable
+// trace file per machine (node<k>.trace.json under dir) recording that
+// machine's evaluation rounds, round-boundary instants, and migration
+// instants on a node-local clock. Fold the files into one cluster
+// trace with `tracesum merge`.
+func (c *Cluster) EnableTracing(dir string, cfg TracerConfig) error {
+	return c.inner.EnableTracing(dir, cfg)
+}
+
+// TracePaths returns the per-node trace file paths (nil when tracing is
+// off). Files are complete only after CloseTracing.
+func (c *Cluster) TracePaths() []string { return c.inner.TracePaths() }
+
+// CloseTracing finalizes the per-node trace files and writes the
+// migration ledger (migrations.jsonl) next to them.
+func (c *Cluster) CloseTracing() error { return c.inner.CloseTracing() }
 
 // WriteEventsJSONL streams the degradation log as one JSON object per line.
 func (c *Cluster) WriteEventsJSONL(w io.Writer) error { return c.inner.WriteEventsJSONL(w) }

@@ -33,6 +33,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"asmsim/internal/telemetry"
 )
 
 var addrRe = regexp.MustCompile(`job service listening on http://(\S+)/api/jobs`)
@@ -513,6 +515,13 @@ func checkMetrics(base string) error {
 		if !names[want] {
 			return fmt.Errorf("required series %s missing", want)
 		}
+	}
+	// The fleet poller (serve.FleetPoller) scrapes this endpoint with
+	// the strict parser and marks the node broken on any parse error —
+	// duplicate samples included, which the line-by-line checks above
+	// cannot see. Hold the smoke to the same contract.
+	if _, err := telemetry.ParseExposition(body); err != nil {
+		return fmt.Errorf("strict exposition parse (fleet scrape contract): %w", err)
 	}
 	if !strings.Contains(body, `serve_jobs_finished_total{state="done"}`) {
 		return fmt.Errorf(`no serve_jobs_finished_total{state="done"} sample`)

@@ -11,72 +11,119 @@
 //	tracesum -check /tmp/run.trace.json       # schema validation only
 //	tracesum -format csv /tmp/run.trace.json
 //	tracesum -diff old.json new.json -tol 0.02   # regression gate
+//	tracesum merge -o cluster.json node0.json node1.json  # fold node traces
 //
 // In -diff mode each argument may be a raw asmsim trace (summarized on
 // the fly) or a summary previously saved with -format json, so CI can
 // diff a fresh trace against a committed golden summary directly.
+//
+// The merge subcommand folds per-node cluster traces (one file per
+// machine, from Cluster.EnableTracing) into one Perfetto-loadable file
+// with per-node process groups, round-aligned clocks, and a cluster
+// attribution matrix whose per-node blocks are bit-identical to the
+// inputs; it prints a clock-skew report to stderr.
+//
+// Exit codes: 0 success, 1 operational failure (unreadable file, failed
+// validation, diff past tolerance), 2 usage error (unknown subcommand,
+// missing file arguments, bad flags).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
 )
 
 func main() {
-	var (
-		check    = flag.Bool("check", false, "validate the chrome-trace schema and exit (no tables)")
-		format   = flag.String("format", "text", "output format: text, csv, json")
-		perQuant = flag.Bool("quanta", false, "also print one interference row per quantum")
-		diffMode = flag.Bool("diff", false, "compare two traces/summaries cell by cell; non-zero exit past -tol")
-		tol      = flag.Float64("tol", 0.02, "relative tolerance for -diff numeric cells")
-	)
-	flag.Parse()
-	if *diffMode {
-		if flag.NArg() < 2 {
-			fmt.Fprintln(os.Stderr, "usage: tracesum -diff <old.json> <new.json> [-tol 0.02]")
-			os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usageText = `usage:
+  tracesum [-check] [-quanta] [-format text|csv|json] <trace.json>
+  tracesum -diff <old.json> <new.json> [-tol 0.02]
+  tracesum merge [-o <merged.json>] <node0.json> <node1.json> ...`
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, usageText)
+	return 2
+}
+
+// run is the whole command behind a testable seam: argv in, exit code
+// out, all output on the given writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	// Subcommand dispatch: a first argument that is not a flag and not a
+	// readable file is a subcommand name. Only "merge" exists; anything
+	// else is a usage error rather than a confusing file-open failure.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		if args[0] == "merge" {
+			return runMerge(args[1:], stdout, stderr)
 		}
-		oldPath, newPath := flag.Arg(0), flag.Arg(1)
+		if _, err := os.Stat(args[0]); err != nil && !looksLikePath(args[0]) {
+			fmt.Fprintf(stderr, "tracesum: unknown subcommand %q\n", args[0])
+			return usage(stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("tracesum", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		check    = fs.Bool("check", false, "validate the chrome-trace schema and exit (no tables)")
+		format   = fs.String("format", "text", "output format: text, csv, json")
+		perQuant = fs.Bool("quanta", false, "also print one interference row per quantum")
+		diffMode = fs.Bool("diff", false, "compare two traces/summaries cell by cell; non-zero exit past -tol")
+		tol      = fs.Float64("tol", 0.02, "relative tolerance for -diff numeric cells")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usage(stderr)
+	}
+	if *diffMode {
+		if fs.NArg() < 2 {
+			return usage(stderr)
+		}
+		oldPath, newPath := fs.Arg(0), fs.Arg(1)
 		// Accept `-diff old new -tol 0.02` too: stdlib flag stops at the
 		// first positional, so re-parse anything after the two paths.
-		if rest := flag.Args()[2:]; len(rest) > 0 {
-			if err := flag.CommandLine.Parse(rest); err != nil || flag.NArg() != 0 {
-				fmt.Fprintln(os.Stderr, "usage: tracesum -diff <old.json> <new.json> [-tol 0.02]")
-				os.Exit(2)
+		if rest := fs.Args()[2:]; len(rest) > 0 {
+			if err := fs.Parse(rest); err != nil || fs.NArg() != 0 {
+				return usage(stderr)
 			}
 		}
 		if err := runDiff(oldPath, newPath, *tol); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		return 0
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracesum [-check] [-format text|csv|json] <trace.json>")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		return usage(stderr)
 	}
-	path := flag.Arg(0)
+	path := fs.Arg(0)
 
 	tf, events, err := loadTrace(path)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if *check {
 		if err := validate(tf, events); err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fmt.Fprintf(stderr, "%s: %v\n", path, err)
+			return 1
 		}
-		fmt.Printf("%s: OK — %d events, %d attribution quanta\n",
+		fmt.Fprintf(stdout, "%s: OK — %d events, %d attribution quanta\n",
 			path, len(events), countAttribution(events))
-		return
+		return 0
 	}
 
 	quanta := attributionSeries(events)
 	if len(quanta) == 0 {
-		fatal(fmt.Errorf("%s: no attribution events (was the run traced?)", path))
+		fmt.Fprintf(stderr, "%s: no attribution events (was the run traced?)\n", path)
+		return 1
 	}
 	tables := summaryTables(evtrace.Summarize(quanta))
 	if *perQuant {
@@ -87,21 +134,31 @@ func main() {
 	if *format == "json" {
 		out, err := json.MarshalIndent(tables, "", "  ")
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println(string(out))
-		return
+		fmt.Fprintln(stdout, string(out))
+		return 0
 	}
 	for i, t := range tables {
 		out, err := render(t, *format)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
+	return 0
+}
+
+// looksLikePath reports whether a missing first argument still reads as
+// a file path (has a separator or an extension), in which case the
+// helpful error is "no such file", not "unknown subcommand".
+func looksLikePath(s string) bool {
+	return strings.ContainsAny(s, "/\\.")
 }
 
 // summaryTables builds the canonical table set for a run summary — the
@@ -301,9 +358,4 @@ func render(t *exp.Table, format string) (string, error) {
 		return t.JSON()
 	}
 	return "", fmt.Errorf("unknown format %q (want text, csv or json)", format)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -18,6 +18,8 @@ import (
 
 func main() {
 	dashAddr := flag.String("dash", "", "serve the live dashboard on this address; cluster event/health gauges appear under cluster.* in /debug/asm/metrics")
+	traceDir := flag.String("trace-dir", "", "capture per-node Perfetto traces into this directory (node<k>.trace.json + migrations.jsonl); merge with: tracesum merge <dir>/node*.trace.json")
+	traceSample := flag.Int("trace-sample", 16, "with -trace-dir, record every Nth miss span (attribution matrices stay exact)")
 	flag.Parse()
 
 	sys := asmsim.DefaultConfig()
@@ -35,6 +37,25 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// With -trace-dir, every machine's evaluation rounds stream to a
+	// node-tagged trace file on a node-local clock, with round and
+	// migration instants; tracesum merge folds them into one
+	// cluster-wide Perfetto view.
+	if *traceDir != "" {
+		if err := cl.EnableTracing(*traceDir, asmsim.TracerConfig{SampleEvery: *traceSample}); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			paths := cl.TracePaths()
+			if err := cl.CloseTracing(); err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range paths {
+				fmt.Printf("node trace: %s\n", p)
+			}
+		}()
 	}
 
 	// With -dash, the balancer's audit-log counters and health gauges

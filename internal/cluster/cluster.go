@@ -197,6 +197,12 @@ type Cluster struct {
 	Events []Event
 	round  int
 	tel    *telemetry.Registry
+
+	// traces holds per-node tracers while tracing is enabled (see
+	// trace.go); traceDir is where CloseTracing writes the migration
+	// ledger.
+	traces   []*nodeTrace
+	traceDir string
 }
 
 // Migration is one balancer decision.
@@ -286,6 +292,7 @@ func (c *Cluster) EvaluateRound() error {
 			c.probeRecovery(i)
 			continue
 		}
+		c.traceRound(i)
 		if len(m.Jobs) == 0 {
 			// An idle machine has nothing to evaluate; it stays Healthy
 			// and admits work trivially.
@@ -403,6 +410,20 @@ func (c *Cluster) evaluate(machine int, jobs []string) ([]float64, error) {
 	sys, err := sim.New(cfg, specs)
 	if err != nil {
 		return nil, err
+	}
+	// With per-node tracing enabled, this round's simulation streams into
+	// the machine's own trace file at the node-local clock: the offset
+	// lays rounds out sequentially (each sim starts at cycle zero), and
+	// the clock advances by however many cycles the run covered — also on
+	// a later-failed attempt, whose traced quanta are still in the file.
+	nt := c.nodeTracer(machine)
+	if nt != nil {
+		nt.tracer.SetClockOffset(nt.cycles)
+		sys.SetTracer(nt.tracer)
+		defer func() {
+			nt.cycles += sys.Cycle()
+			nt.tracer.SetClockOffset(nt.cycles)
+		}()
 	}
 	asm := core.Sanitize(core.NewASM())
 	site := fmt.Sprintf("machine %d round %d", machine, c.round)
@@ -554,6 +575,7 @@ func (c *Cluster) Rebalance(tolerance float64) (bool, error) {
 	c.machines[worst].Slowdowns = nil
 	c.machines[best].Slowdowns = nil
 	c.Migrations = append(c.Migrations, mv)
+	c.traceMigration(mv)
 	return true, nil
 }
 

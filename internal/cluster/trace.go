@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"asmsim/internal/evtrace"
+)
+
+// Per-node trace capture. With tracing enabled, every machine's
+// evaluation rounds stream into that machine's own trace file
+// (node<k>.trace.json) on a node-local clock: rounds re-run the
+// machine's mix from simulated cycle zero, so the balancer advances the
+// tracer's clock offset between rounds to lay them out sequentially.
+// Round boundaries and migration decisions are emitted as instant
+// events — the shared round marks are what `tracesum merge` aligns the
+// node clocks on, and the migration instants cross-check the
+// Migrations ledger one-to-one.
+
+// nodeTrace is one machine's tracer plus its node-local clock: the
+// cycles accumulated by every simulation the machine has run so far.
+type nodeTrace struct {
+	tracer *evtrace.Tracer
+	path   string
+	cycles uint64
+}
+
+// EnableTracing opens one trace file per machine under dir
+// (node<k>.trace.json) and begins per-node capture: each machine's
+// evaluation rounds, round-boundary instants, and migration instants.
+// Call CloseTracing when the run is done to finalize the files and
+// write the migration ledger. Enabling twice is an error.
+func (c *Cluster) EnableTracing(dir string, cfg evtrace.Config) error {
+	if c.traces != nil {
+		return fmt.Errorf("cluster: tracing already enabled")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	traces := make([]*nodeTrace, len(c.machines))
+	for i := range c.machines {
+		path := filepath.Join(dir, fmt.Sprintf("node%d.trace.json", i))
+		tr, err := evtrace.Open(path, cfg)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				traces[j].tracer.Close()
+			}
+			return err
+		}
+		traces[i] = &nodeTrace{tracer: tr, path: path}
+	}
+	c.traces = traces
+	c.traceDir = dir
+	return nil
+}
+
+// TracePaths returns the per-node trace file paths (node order), or nil
+// when tracing is not enabled. The files are complete only after
+// CloseTracing.
+func (c *Cluster) TracePaths() []string {
+	if c.traces == nil {
+		return nil
+	}
+	paths := make([]string, len(c.traces))
+	for i, nt := range c.traces {
+		paths[i] = nt.path
+	}
+	return paths
+}
+
+// CloseTracing finalizes every node's trace file and writes the
+// migration ledger (migrations.jsonl, one Migration per line) next to
+// them. It returns the first error encountered; tracing is disabled
+// either way.
+func (c *Cluster) CloseTracing() error {
+	if c.traces == nil {
+		return nil
+	}
+	var first error
+	for _, nt := range c.traces {
+		if err := nt.tracer.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ledger := filepath.Join(c.traceDir, "migrations.jsonl")
+	f, err := os.Create(ledger)
+	if err != nil {
+		if first == nil {
+			first = fmt.Errorf("cluster: %w", err)
+		}
+	} else {
+		if err := c.WriteMigrationsJSONL(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cluster: %w", err)
+		}
+	}
+	c.traces = nil
+	c.traceDir = ""
+	return first
+}
+
+// nodeTracer returns machine i's trace state, or nil when tracing is
+// off.
+func (c *Cluster) nodeTracer(i int) *nodeTrace {
+	if c.traces == nil || i < 0 || i >= len(c.traces) {
+		return nil
+	}
+	return c.traces[i]
+}
+
+// traceRound emits machine i's round-boundary instant: the node-local
+// cycle at which the machine entered the current evaluation round.
+// Every serving (non-Failed) machine emits one per round — including
+// degraded rounds that end up simulating nothing — so trace consumers
+// can reconcile the per-node clocks on shared round numbers.
+func (c *Cluster) traceRound(i int) {
+	nt := c.nodeTracer(i)
+	if nt == nil {
+		return
+	}
+	nt.tracer.SetClockOffset(nt.cycles)
+	nt.tracer.Instant("round", "cluster", 0, map[string]any{
+		"round": c.round, "cycle": nt.cycles, "node": i,
+	})
+}
+
+// traceMigration emits one migration decision into both affected
+// nodes' traces, at each node's current local clock. The args mirror
+// the Migrations ledger entry exactly, so a merged trace's migration
+// instants reconcile with the ledger one-to-one.
+func (c *Cluster) traceMigration(mv Migration) {
+	args := map[string]any{
+		"round": mv.Round, "job": mv.Job,
+		"from": mv.From, "to": mv.To, "swapped": mv.Swapped,
+	}
+	for _, i := range []int{mv.From, mv.To} {
+		nt := c.nodeTracer(i)
+		if nt == nil {
+			continue
+		}
+		nt.tracer.SetClockOffset(nt.cycles)
+		nt.tracer.Instant("migration", "cluster", 0, args)
+	}
+}

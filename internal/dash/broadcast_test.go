@@ -104,6 +104,80 @@ func TestBroadcasterSlowClientDropsOldest(t *testing.T) {
 	}
 }
 
+// TestBroadcasterSlowSubscriberFrameIntegrity is the backpressure
+// contract in full: with a subscriber too slow to keep up, drop-oldest
+// may lose frames but must never tear one — every frame that does reach
+// the consumer is complete (header, JSON payload, terminator) — and the
+// registry counter wired via SetDropCounter counts exactly the evicted
+// frames, no more, no fewer.
+func TestBroadcasterSlowSubscriberFrameIntegrity(t *testing.T) {
+	b := NewBroadcaster()
+	reg := telemetry.NewRegistry()
+	ctr := reg.Scope("dash").Scope("sse").Counter("dropped_frames")
+	b.SetDropCounter(ctr)
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	// Overfill the buffer while the consumer reads nothing, in bursts
+	// with partial drains between them so eviction interleaves with
+	// delivery the way a stalling SSE client would see it.
+	const bursts, burst, drainPer = 3, subBuffer, subBuffer / 2
+	sent, received := 0, 0
+	var frames [][]byte
+	for r := 0; r < bursts; r++ {
+		for q := 0; q < burst; q++ {
+			b.Record(rec(0, sent))
+			sent++
+		}
+		for d := 0; d < drainPer; d++ {
+			frames = append(frames, <-ch)
+			received++
+		}
+	}
+	for {
+		select {
+		case f := <-ch:
+			frames = append(frames, f)
+			received++
+			continue
+		default:
+		}
+		break
+	}
+
+	// Exact drop accounting: every frame was either delivered or evicted,
+	// and the registry counter saw each eviction exactly once.
+	evicted := sent - received
+	if evicted <= 0 {
+		t.Fatalf("test did not overrun the buffer (sent %d, received %d)", sent, received)
+	}
+	if st := b.Stats(); st.Drops != uint64(evicted) {
+		t.Fatalf("Stats().Drops = %d, want %d", st.Drops, evicted)
+	}
+	if ctr.Value() != uint64(evicted) {
+		t.Fatalf("sse.dropped_frames = %d, want exactly %d evicted frames", ctr.Value(), evicted)
+	}
+
+	// No torn frames: each one is a complete SSE event whose payload
+	// parses, and quantum ordinals only move forward (drop-oldest never
+	// reorders or splices).
+	lastQ := -1
+	for i, f := range frames {
+		if !bytes.HasPrefix(f, []byte("event: quantum\ndata: ")) || !bytes.HasSuffix(f, []byte("\n\n")) {
+			t.Fatalf("frame %d torn: %q", i, f)
+		}
+		payload := bytes.TrimSuffix(bytes.TrimPrefix(f, []byte("event: quantum\ndata: ")), []byte("\n\n"))
+		var qr telemetry.QuantumRecord
+		if err := json.Unmarshal(payload, &qr); err != nil {
+			t.Fatalf("frame %d payload not JSON: %v\n%q", i, err, payload)
+		}
+		if qr.Quantum <= lastQ {
+			t.Fatalf("frame %d out of order: quantum %d after %d", i, qr.Quantum, lastQ)
+		}
+		lastQ = qr.Quantum
+	}
+}
+
 // TestBroadcasterConcurrent hammers the broadcaster from concurrent
 // producers while subscribers churn; run under -race this is the
 // fan-out's data-race proof.

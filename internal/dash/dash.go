@@ -36,6 +36,7 @@ type Server struct {
 	reg      *telemetry.Registry
 	prog     *telemetry.Progress
 	lastAttr *evtrace.QuantumAttribution
+	fleetSrc FleetSource
 
 	deltaMu    sync.Mutex
 	deltas     map[string]map[string]telemetry.Metric
@@ -126,6 +127,9 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/asm/quanta", s.handleQuanta)
 	mux.HandleFunc("/debug/asm/attribution", s.handleAttribution)
 	mux.HandleFunc("/debug/asm/progress", s.handleProgress)
+	mux.HandleFunc("/debug/asm/hist", s.handleHist)
+	mux.HandleFunc("/debug/asm/fleet", s.handleFleet)
+	mux.HandleFunc("/debug/asm/fleet.json", s.handleFleetJSON)
 }
 
 // MountMetrics registers the Prometheus text-exposition endpoint at

@@ -1,0 +1,275 @@
+package dash
+
+import (
+	_ "embed"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"asmsim/internal/evtrace"
+	"asmsim/internal/telemetry"
+)
+
+//go:embed static/fleet.html
+var fleetHTML []byte
+
+// FleetNode is one scraped node's latest state as the poller saw it: the
+// raw /metrics samples, the node's mergeable histogram snapshots, and
+// (when the node exposes one) its latest interference attribution
+// matrix. The dashboard renders these; the poller in internal/serve
+// fills them in.
+type FleetNode struct {
+	// Node is the poller's index for this target (stable across polls).
+	Node int `json:"node"`
+	// URL is the target's base URL.
+	URL string `json:"url"`
+	// Healthy reports whether the last poll scraped cleanly; Err carries
+	// the failure otherwise. A node that has never answered is unhealthy
+	// with an empty sample set.
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+	// Queued and Running mirror the node's serve_queued / serve_running
+	// gauges (0 when the node does not run the job service).
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	// Samples is the node's full /metrics exposition, parsed strictly:
+	// sample key (name plus rendered labels) -> value.
+	Samples map[string]float64 `json:"samples,omitempty"`
+	// Hist holds the node's mergeable histogram snapshots by registry
+	// name (from /debug/asm/hist); unlike the precomputed quantiles on
+	// /metrics these can be summed across nodes.
+	Hist map[string]telemetry.HistogramSnapshot `json:"hist,omitempty"`
+	// Attribution is the node's latest interference attribution matrix
+	// (from /debug/asm/attribution), when the node exposes one.
+	Attribution *evtrace.QuantumAttribution `json:"attribution,omitempty"`
+}
+
+// FleetHistogram is one metric's fleet-wide distribution: per-node
+// snapshots summed bucket-by-bucket, quantiles taken from the merged
+// buckets. Because merging is exact (see telemetry.HistogramSnapshot),
+// these are the same quantiles a single histogram fed by every node's
+// samples would report.
+type FleetHistogram struct {
+	// Nodes counts how many nodes contributed observations.
+	Nodes  int    `json:"nodes"`
+	Count  uint64 `json:"count"`
+	MeanNs uint64 `json:"mean_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+}
+
+// FleetState is the cluster-wide view served at /debug/asm/fleet.json:
+// every node's latest scrape plus the derived fleet aggregates.
+type FleetState struct {
+	// Polls counts completed poll sweeps.
+	Polls uint64 `json:"polls"`
+	// Nodes is every target's latest state, in target order.
+	Nodes []FleetNode `json:"nodes"`
+	// Hist is the fleet-wide merged distribution per histogram name.
+	Hist map[string]FleetHistogram `json:"hist"`
+	// Attribution is the cluster-level attribution matrix: each node's
+	// victim×cause block embedded on the diagonal (apps renamed
+	// "n<node>/<name>", per-node system columns folded into the cluster
+	// system column), nil until some node reports one. Off-diagonal
+	// blocks are zero by construction — nodes do not share a memory
+	// system, so cross-node interference cannot exist.
+	Attribution *evtrace.QuantumAttribution `json:"attribution,omitempty"`
+}
+
+// FleetSource supplies the fleet view; the poller in internal/serve
+// implements it. The dashboard only renders what the source returns, so
+// the aggregation cost is paid on the poller's clock, never a
+// simulation's.
+type FleetSource interface {
+	Fleet() FleetState
+}
+
+// SetFleetSource points /debug/asm/fleet at src (replace semantics, like
+// SetRegistry). Nil-safe.
+func (s *Server) SetFleetSource(src FleetSource) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fleetSrc = src
+	s.mu.Unlock()
+}
+
+// AggregateFleet derives the fleet view from per-node scrapes: histogram
+// snapshots merge bucket-wise per name, attribution matrices block-embed
+// into one cluster matrix. The poller calls this under its own lock; the
+// nodes slice is retained, so hand in a copy if the caller keeps
+// mutating it.
+func AggregateFleet(polls uint64, nodes []FleetNode) FleetState {
+	st := FleetState{Polls: polls, Nodes: nodes, Hist: map[string]FleetHistogram{}}
+	merged := map[string]*telemetry.HistogramSnapshot{}
+	contrib := map[string]int{}
+	for _, n := range nodes {
+		for name, snap := range n.Hist {
+			m := merged[name]
+			if m == nil {
+				m = &telemetry.HistogramSnapshot{}
+				merged[name] = m
+			}
+			m.Merge(snap)
+			if snap.Count > 0 {
+				contrib[name]++
+			}
+		}
+	}
+	for name, m := range merged {
+		st.Hist[name] = FleetHistogram{
+			Nodes:  contrib[name],
+			Count:  m.Count,
+			MeanNs: m.Mean(),
+			MaxNs:  m.Max,
+			P50Ns:  m.Quantile(0.50),
+			P90Ns:  m.Quantile(0.90),
+			P99Ns:  m.Quantile(0.99),
+			P999Ns: m.Quantile(0.999),
+		}
+	}
+	st.Attribution = fleetAttribution(nodes)
+	return st
+}
+
+// attributionWellFormed checks a scraped matrix's shape: N apps, N
+// rows of N+1 columns (the trailing system column) in both splits, and
+// N row totals. Scraped JSON is attacker-adjacent input; a ragged
+// matrix must be skipped, not crash the aggregator.
+func attributionWellFormed(a *evtrace.QuantumAttribution) bool {
+	n := len(a.Apps)
+	if n == 0 || len(a.Mem) != n || len(a.Cache) != n || len(a.MemRowTotals) != n {
+		return false
+	}
+	for j := 0; j < n; j++ {
+		if len(a.Mem[j]) != n+1 || len(a.Cache[j]) != n+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// fleetAttribution embeds each node's attribution block on the diagonal
+// of one cluster matrix, the same layout evtrace's trace merge produces:
+// node k's apps occupy a contiguous run of rows/columns, its system
+// column lands in the cluster system column, and everything off the
+// diagonal blocks stays zero. Values are copied verbatim — per-node
+// submatrices survive bit-identical.
+func fleetAttribution(nodes []FleetNode) *evtrace.QuantumAttribution {
+	total := 0
+	for _, n := range nodes {
+		if n.Attribution != nil && attributionWellFormed(n.Attribution) {
+			total += len(n.Attribution.Apps)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := &evtrace.QuantumAttribution{
+		Apps:         make([]string, 0, total),
+		Mem:          make([][]float64, total),
+		Cache:        make([][]float64, total),
+		MemRowTotals: make([]float64, total),
+	}
+	for j := range out.Mem {
+		out.Mem[j] = make([]float64, total+1)
+		out.Cache[j] = make([]float64, total+1)
+	}
+	off := 0
+	for _, n := range nodes {
+		a := n.Attribution
+		if a == nil || !attributionWellFormed(a) {
+			continue
+		}
+		nk := len(a.Apps)
+		for j := 0; j < nk; j++ {
+			out.Apps = append(out.Apps, fmt.Sprintf("n%d/%s", n.Node, a.Apps[j]))
+			for i := 0; i < nk; i++ {
+				out.Mem[off+j][off+i] = a.Mem[j][i]
+				out.Cache[off+j][off+i] = a.Cache[j][i]
+			}
+			out.Mem[off+j][total] = a.Mem[j][nk]
+			out.Cache[off+j][total] = a.Cache[j][nk]
+			out.MemRowTotals[off+j] = a.MemRowTotals[j]
+		}
+		for _, as := range a.AppStats {
+			as.Name = fmt.Sprintf("n%d/%s", n.Node, as.Name)
+			out.AppStats = append(out.AppStats, as)
+		}
+		// The cluster quantum clock is the furthest node's.
+		if a.Quantum > out.Quantum {
+			out.Quantum = a.Quantum
+		}
+		if a.EndCycle > out.EndCycle {
+			out.EndCycle = a.EndCycle
+		}
+		if a.Cycles > out.Cycles {
+			out.Cycles = a.Cycles
+		}
+		off += nk
+	}
+	return out
+}
+
+// fleetResponse is the /debug/asm/fleet.json payload.
+type fleetResponse struct {
+	// Present is false until SetFleetSource installed a poller.
+	Present bool       `json:"present"`
+	Fleet   FleetState `json:"fleet"`
+}
+
+// handleFleetJSON serves the aggregated fleet view.
+func (s *Server) handleFleetJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	src := s.fleetSrc
+	s.mu.Unlock()
+	resp := fleetResponse{Present: src != nil}
+	if src != nil {
+		resp.Fleet = src.Fleet()
+	}
+	if resp.Fleet.Nodes == nil {
+		resp.Fleet.Nodes = []FleetNode{}
+	}
+	if resp.Fleet.Hist == nil {
+		resp.Fleet.Hist = map[string]FleetHistogram{}
+	}
+	writeJSON(w, resp)
+}
+
+// handleFleet serves the embedded fleet page.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(fleetHTML)
+}
+
+// handleHist serves the registry's mergeable histogram snapshots, keyed
+// by registry name with sparse buckets. This is the endpoint the fleet
+// poller scrapes: /metrics only exposes precomputed quantiles, which
+// cannot be combined across nodes, while these snapshots sum exactly.
+// Names are sorted into the JSON object deterministically by the
+// encoder; an empty or absent registry serves {}.
+func (s *Server) handleHist(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	m := reg.SnapshotHistograms()
+	if m == nil {
+		m = map[string]telemetry.HistogramSnapshot{}
+	}
+	writeJSON(w, m)
+}
+
+// FleetHistNames returns st.Hist's keys sorted, for deterministic
+// rendering and tests.
+func (st FleetState) FleetHistNames() []string {
+	names := make([]string, 0, len(st.Hist))
+	for name := range st.Hist {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,238 @@
+package dash
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"asmsim/internal/evtrace"
+	"asmsim/internal/telemetry"
+)
+
+// TestAggregateFleetHistograms: the fleet view's quantiles must equal
+// the quantiles of one histogram fed by every node's samples — the
+// merge is exact, not an approximation.
+func TestAggregateFleetHistograms(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pooled := &telemetry.Histogram{}
+	nodes := make([]FleetNode, 3)
+	for k := range nodes {
+		h := &telemetry.Histogram{}
+		for i := 0; i < 400; i++ {
+			v := uint64(r.Intn(1 << 30))
+			h.Record(v)
+			pooled.Record(v)
+		}
+		nodes[k] = FleetNode{
+			Node:    k,
+			Healthy: true,
+			Hist:    map[string]telemetry.HistogramSnapshot{"serve.job_latency_ns": h.Snapshot()},
+		}
+	}
+	st := AggregateFleet(7, nodes)
+	if st.Polls != 7 {
+		t.Errorf("polls = %d", st.Polls)
+	}
+	got, ok := st.Hist["serve.job_latency_ns"]
+	if !ok {
+		t.Fatalf("merged histogram missing; names = %v", st.FleetHistNames())
+	}
+	want := pooled.Snapshot()
+	if got.Nodes != 3 || got.Count != want.Count {
+		t.Fatalf("merged = %+v, want count %d over 3 nodes", got, want.Count)
+	}
+	checks := map[string][2]uint64{
+		"p50":  {got.P50Ns, want.Quantile(0.50)},
+		"p90":  {got.P90Ns, want.Quantile(0.90)},
+		"p99":  {got.P99Ns, want.Quantile(0.99)},
+		"p999": {got.P999Ns, want.Quantile(0.999)},
+		"max":  {got.MaxNs, want.Max},
+		"mean": {got.MeanNs, want.Mean()},
+	}
+	for name, pair := range checks {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: fleet %d != pooled %d", name, pair[0], pair[1])
+		}
+	}
+}
+
+// fakeAttr builds a well-formed n-app attribution whose cell (j, i) is
+// base+j*10+i, system column included.
+func fakeAttr(apps []string, base float64) *evtrace.QuantumAttribution {
+	n := len(apps)
+	a := &evtrace.QuantumAttribution{
+		Quantum: 3, EndCycle: 600_000, Cycles: 200_000,
+		Apps:         apps,
+		Mem:          make([][]float64, n),
+		Cache:        make([][]float64, n),
+		MemRowTotals: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		a.Mem[j] = make([]float64, n+1)
+		a.Cache[j] = make([]float64, n+1)
+		for i := 0; i <= n; i++ {
+			a.Mem[j][i] = base + float64(j*10+i)
+			a.Cache[j][i] = base / 2
+		}
+		a.MemRowTotals[j] = base * float64(j+1)
+		a.AppStats = append(a.AppStats, evtrace.AppQuantumStats{Name: apps[j], Retired: uint64(j)})
+	}
+	return a
+}
+
+// TestAggregateFleetAttribution: block-diagonal embedding with renamed
+// apps, verbatim per-node values, per-node system columns folded into
+// the cluster system column, and malformed nodes skipped.
+func TestAggregateFleetAttribution(t *testing.T) {
+	n0 := FleetNode{Node: 0, Attribution: fakeAttr([]string{"mcf", "lbm"}, 1000)}
+	n1 := FleetNode{Node: 1, Attribution: fakeAttr([]string{"astar"}, 9000)}
+	ragged := fakeAttr([]string{"x", "y"}, 5)
+	ragged.Mem[1] = ragged.Mem[1][:2] // torn row: must be skipped, not crash
+	n2 := FleetNode{Node: 2, Attribution: ragged}
+
+	st := AggregateFleet(1, []FleetNode{n0, n1, n2})
+	a := st.Attribution
+	if a == nil {
+		t.Fatal("no cluster attribution")
+	}
+	wantApps := []string{"n0/mcf", "n0/lbm", "n1/astar"}
+	if !reflect.DeepEqual(a.Apps, wantApps) {
+		t.Fatalf("apps = %v, want %v", a.Apps, wantApps)
+	}
+	// Node 0's block verbatim; its system column (index 2 locally) in the
+	// cluster system column (index 3).
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			if a.Mem[j][i] != n0.Attribution.Mem[j][i] {
+				t.Errorf("mem[%d][%d] = %v, want %v", j, i, a.Mem[j][i], n0.Attribution.Mem[j][i])
+			}
+		}
+		if a.Mem[j][3] != n0.Attribution.Mem[j][2] {
+			t.Errorf("system col row %d = %v, want %v", j, a.Mem[j][3], n0.Attribution.Mem[j][2])
+		}
+		// Cross-node block is zero: machines share nothing.
+		if a.Mem[j][2] != 0 || a.Mem[2][j] != 0 {
+			t.Errorf("off-diagonal block row %d not zero", j)
+		}
+	}
+	if a.Mem[2][2] != n1.Attribution.Mem[0][0] || a.Mem[2][3] != n1.Attribution.Mem[0][1] {
+		t.Errorf("node 1 block misplaced: row %v", a.Mem[2])
+	}
+	if a.MemRowTotals[2] != n1.Attribution.MemRowTotals[0] {
+		t.Errorf("row totals not copied")
+	}
+	if len(a.AppStats) != 3 || a.AppStats[2].Name != "n1/astar" {
+		t.Errorf("app stats = %+v", a.AppStats)
+	}
+
+	// No attribution anywhere -> nil, not an empty matrix.
+	if st := AggregateFleet(0, []FleetNode{{Node: 0}}); st.Attribution != nil {
+		t.Error("attribution fabricated from nothing")
+	}
+}
+
+type staticFleet struct{ st FleetState }
+
+func (s staticFleet) Fleet() FleetState { return s.st }
+
+// TestFleetEndpoints drives the three new routes over real HTTP: the
+// JSON view reflects the installed source, the HTML page serves, and
+// /debug/asm/hist exposes the registry's mergeable snapshots.
+func TestFleetEndpoints(t *testing.T) {
+	srv := NewServer()
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	reg.Scope("serve").Histogram("job_latency_ns").Record(4096)
+	srv.SetRegistry(reg)
+	mux := http.NewServeMux()
+	srv.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 1<<15)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	// Before a source is installed, the JSON view reports absent.
+	body, _ := get("/debug/asm/fleet.json")
+	var fr struct {
+		Present bool       `json:"present"`
+		Fleet   FleetState `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(body), &fr); err != nil {
+		t.Fatalf("fleet.json not JSON: %v\n%s", err, body)
+	}
+	if fr.Present || fr.Fleet.Nodes == nil || fr.Fleet.Hist == nil {
+		t.Fatalf("empty fleet view = %s", body)
+	}
+
+	srv.SetFleetSource(staticFleet{st: AggregateFleet(3, []FleetNode{
+		{Node: 0, URL: "http://a", Healthy: true, Queued: 2,
+			Attribution: fakeAttr([]string{"mcf"}, 100)},
+	})})
+	body, _ = get("/debug/asm/fleet.json")
+	if err := json.Unmarshal([]byte(body), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Present || fr.Fleet.Polls != 3 || len(fr.Fleet.Nodes) != 1 ||
+		fr.Fleet.Attribution == nil || fr.Fleet.Attribution.Apps[0] != "n0/mcf" {
+		t.Fatalf("fleet view = %s", body)
+	}
+
+	if body, ct := get("/debug/asm/fleet"); !strings.HasPrefix(ct, "text/html") ||
+		!strings.Contains(body, "asmsim fleet") {
+		t.Fatalf("fleet page: content type %q", ct)
+	}
+
+	body, ct := get("/debug/asm/hist")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("hist content type %q", ct)
+	}
+	var hists map[string]telemetry.HistogramSnapshot
+	if err := json.Unmarshal([]byte(body), &hists); err != nil {
+		t.Fatalf("hist not JSON: %v\n%s", err, body)
+	}
+	s, ok := hists["serve.job_latency_ns"]
+	if !ok || s.Count != 1 || s.Sum != 4096 {
+		t.Fatalf("hist snapshot = %+v (present %v)", s, ok)
+	}
+
+	// A nil-registry server still serves a valid empty hist document.
+	bare := NewServer()
+	defer bare.Close()
+	mux2 := http.NewServeMux()
+	bare.Mount(mux2)
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/debug/asm/hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var empty map[string]telemetry.HistogramSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&empty); err != nil {
+		t.Fatalf("empty hist decode: %v", err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty hist = %v", empty)
+	}
+}

@@ -120,6 +120,15 @@ type Tracer struct {
 	missCount   atomic.Uint64 // demand misses seen (sampling clock)
 	spanCount   atomic.Uint64 // sampled spans emitted (lane rotation)
 
+	// clockOffset (cycles) shifts every emitted event timestamp. A
+	// cluster node re-runs its mix from simulated cycle zero each
+	// evaluation round; the balancer advances this offset between rounds
+	// so one node's rounds lay out sequentially on a single node-local
+	// clock instead of stacking at the origin. Retained attribution
+	// snapshots (Quanta) keep their run-local EndCycle — the offset is a
+	// presentation-clock concern only and never touches accounting.
+	clockOffset atomic.Uint64
+
 	mu     sync.Mutex
 	bw     *bufio.Writer // nil for a matrix-only sink tracer (NewSink)
 	c      io.Closer
@@ -174,6 +183,42 @@ func Open(path string, cfg Config) (*Tracer, error) {
 	t := New(f, cfg)
 	t.c = f
 	return t, nil
+}
+
+// SetClockOffset shifts all subsequently emitted event timestamps by
+// the given number of cycles. Cluster rounds restart the simulated
+// clock at zero; setting the offset to the node's accumulated cycles
+// before each round keeps the node's trace timeline monotone. Safe on a
+// nil tracer and from any goroutine.
+func (t *Tracer) SetClockOffset(cycles uint64) {
+	if t == nil {
+		return
+	}
+	t.clockOffset.Store(cycles)
+}
+
+// ClockOffset returns the current timestamp shift in cycles (0 on nil).
+func (t *Tracer) ClockOffset() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.clockOffset.Load()
+}
+
+// Instant emits one global instant event ("ph":"i") at the given cycle
+// (clock offset applied), carrying args verbatim. The cluster balancer
+// uses it for round boundaries and migration decisions, so trace
+// consumers can reconcile per-node clocks and cross-check the
+// migration ledger. No-op on a nil or matrix-only (NewSink) tracer.
+func (t *Tracer) Instant(name, cat string, cycle uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(event{
+		Name: name, Ph: "i", S: "g", Cat: cat,
+		Ts:  float64(cycle+t.clockOffset.Load()) / cyclesPerMicro,
+		Pid: 0, Tid: 0, Args: args,
+	})
 }
 
 // SampleEvery returns the span sampling period (0 for a nil tracer).
@@ -292,7 +337,8 @@ func (t *Tracer) MissSpan(sp MissSpan) {
 			args["cause_cycles"] = causes
 		}
 	}
-	us := func(c uint64) float64 { return float64(c) / cyclesPerMicro }
+	off := t.clockOffset.Load()
+	us := func(c uint64) float64 { return float64(c+off) / cyclesPerMicro }
 	dur := func(a, b uint64) float64 {
 		if b < a {
 			return 0
@@ -342,10 +388,11 @@ func (t *Tracer) Quantum(q QuantumAttribution) {
 		}
 		return
 	}
+	off := t.clockOffset.Load()
 	evs = make([]event, 0, len(q.Apps)+1)
 	evs = append(evs, event{
 		Name: "attribution", Ph: "i", S: "g", Cat: "attribution",
-		Ts: float64(q.EndCycle) / cyclesPerMicro, Pid: 0, Tid: 0,
+		Ts: float64(q.EndCycle+off) / cyclesPerMicro, Pid: 0, Tid: 0,
 		Args: map[string]any{"attribution": q},
 	})
 	for j := range q.Apps {
@@ -361,7 +408,7 @@ func (t *Tracer) Quantum(q QuantumAttribution) {
 		}
 		evs = append(evs, event{
 			Name: "interference", Ph: "C",
-			Ts: float64(q.EndCycle) / cyclesPerMicro, Pid: j, Tid: 0,
+			Ts: float64(q.EndCycle+off) / cyclesPerMicro, Pid: j, Tid: 0,
 			Args: map[string]any{"mem": mem, "cache": cache},
 		})
 	}

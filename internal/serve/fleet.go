@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asmsim/internal/dash"
+	"asmsim/internal/evtrace"
+	"asmsim/internal/telemetry"
+)
+
+// FleetPollerOptions configures a FleetPoller. Only Targets is
+// required.
+type FleetPollerOptions struct {
+	// Targets are the base URLs to scrape (one node each), e.g.
+	// "http://node3:8080". Each must expose /metrics; /debug/asm/hist and
+	// /debug/asm/attribution are scraped when present and skipped on 404.
+	Targets []string
+	// Interval between poll sweeps (default 2s).
+	Interval time.Duration
+	// Timeout bounds each HTTP request (default 2s). Ignored when Client
+	// is set.
+	Timeout time.Duration
+	// Client overrides the poller's HTTP client (tests use the
+	// httptest server's).
+	Client *http.Client
+	// Metrics optionally receives the poller's own health series under
+	// the "fleet" scope: fleet.polls, fleet.scrape_errors,
+	// fleet.nodes_healthy.
+	Metrics *telemetry.Registry
+	// Log receives scrape failures; nil discards them.
+	Log *slog.Logger
+}
+
+// FleetPoller scrapes K nodes' observability endpoints and aggregates
+// them into the dash.FleetState the fleet dashboard renders. Per node
+// and sweep it fetches:
+//
+//	GET <target>/metrics                  strict text-exposition parse
+//	GET <target>/debug/asm/hist           mergeable histogram snapshots
+//	GET <target>/debug/asm/attribution    latest interference matrix
+//
+// The /metrics scrape uses telemetry.ParseExposition, so a node whose
+// exposition drifts from the 0.0.4 format is reported broken rather
+// than silently half-read. The two /debug endpoints are optional: a
+// node that does not mount the dashboard answers 404 and simply
+// contributes no histograms or attribution.
+//
+// FleetPoller implements dash.FleetSource; install it with
+// Server.SetFleetSource. It runs entirely on its own goroutine and
+// talks to nodes only over HTTP, so attaching it cannot perturb any
+// simulation — the non-perturbation test at the repo root holds it to
+// that.
+type FleetPoller struct {
+	opts   FleetPollerOptions
+	client *http.Client
+	log    *slog.Logger
+
+	polls      atomic.Uint64
+	pollsCtr   *telemetry.Counter
+	scrapeErrs *telemetry.Counter
+	healthyG   *telemetry.Gauge
+
+	mu    sync.Mutex
+	nodes []dash.FleetNode
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFleetPoller builds a poller over the given targets. Call Start to
+// begin polling, or PollOnce for a single synchronous sweep.
+func NewFleetPoller(opts FleetPollerOptions) *FleetPoller {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := opts.Metrics.Scope("fleet")
+	p := &FleetPoller{
+		opts:       opts,
+		client:     client,
+		log:        log,
+		pollsCtr:   reg.Counter("polls"),
+		scrapeErrs: reg.Counter("scrape_errors"),
+		healthyG:   reg.Gauge("nodes_healthy"),
+		nodes:      make([]dash.FleetNode, len(opts.Targets)),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for i, target := range opts.Targets {
+		p.nodes[i] = dash.FleetNode{Node: i, URL: target, Err: "not scraped yet"}
+	}
+	return p
+}
+
+// Fleet implements dash.FleetSource: the latest sweep's node states,
+// aggregated.
+func (p *FleetPoller) Fleet() dash.FleetState {
+	p.mu.Lock()
+	nodes := make([]dash.FleetNode, len(p.nodes))
+	copy(nodes, p.nodes)
+	p.mu.Unlock()
+	return dash.AggregateFleet(p.polls.Load(), nodes)
+}
+
+// PollOnce runs one synchronous sweep: every target scraped
+// concurrently, results installed atomically as the new fleet view.
+func (p *FleetPoller) PollOnce(ctx context.Context) {
+	fresh := make([]dash.FleetNode, len(p.opts.Targets))
+	var wg sync.WaitGroup
+	for i, target := range p.opts.Targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			fresh[i] = p.scrape(ctx, i, target)
+		}(i, target)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, n := range fresh {
+		if n.Healthy {
+			healthy++
+		}
+	}
+	p.mu.Lock()
+	p.nodes = fresh
+	p.mu.Unlock()
+	p.polls.Add(1)
+	p.pollsCtr.Inc()
+	p.healthyG.Set(int64(healthy))
+}
+
+// Start launches the poll loop (idempotent). The first sweep runs
+// immediately, then every Interval until Stop.
+func (p *FleetPoller) Start() {
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			ctx := context.Background()
+			p.PollOnce(ctx)
+			tick := time.NewTicker(p.opts.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-tick.C:
+					p.PollOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the poll loop and waits for it to exit. Safe to call more
+// than once, and before Start (the loop then never runs).
+func (p *FleetPoller) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.startOnce.Do(func() { close(p.done) })
+	<-p.done
+}
+
+// scrape fetches one node's endpoints. A /metrics failure (transport,
+// status, or format) marks the node unhealthy; the optional /debug
+// endpoints degrade gracefully on 404 but any other failure is also a
+// scrape error — a node that mounts the endpoint and then breaks it
+// should be visible, not quietly stale.
+func (p *FleetPoller) scrape(ctx context.Context, i int, target string) dash.FleetNode {
+	node := dash.FleetNode{Node: i, URL: target}
+	fail := func(err error) dash.FleetNode {
+		node.Healthy = false
+		node.Err = err.Error()
+		p.scrapeErrs.Inc()
+		p.log.Warn("fleet scrape failed", "node", i, "target", target, "err", err)
+		return node
+	}
+
+	body, status, err := p.get(ctx, target+"/metrics")
+	if err != nil {
+		return fail(err)
+	}
+	if status != http.StatusOK {
+		return fail(fmt.Errorf("fleet: %s/metrics: status %d", target, status))
+	}
+	samples, err := telemetry.ParseExposition(string(body))
+	if err != nil {
+		return fail(fmt.Errorf("fleet: %s/metrics: %w", target, err))
+	}
+	node.Samples = samples
+	node.Queued = int64(samples["serve_queued"])
+	node.Running = int64(samples["serve_running"])
+
+	body, status, err = p.get(ctx, target+"/debug/asm/hist")
+	switch {
+	case err != nil:
+		return fail(err)
+	case status == http.StatusNotFound:
+		// Node does not mount the dashboard: no histograms to merge.
+	case status != http.StatusOK:
+		return fail(fmt.Errorf("fleet: %s/debug/asm/hist: status %d", target, status))
+	default:
+		if err := json.Unmarshal(body, &node.Hist); err != nil {
+			return fail(fmt.Errorf("fleet: %s/debug/asm/hist: %w", target, err))
+		}
+	}
+
+	body, status, err = p.get(ctx, target+"/debug/asm/attribution")
+	switch {
+	case err != nil:
+		return fail(err)
+	case status == http.StatusNotFound:
+	case status != http.StatusOK:
+		return fail(fmt.Errorf("fleet: %s/debug/asm/attribution: status %d", target, status))
+	default:
+		var ar struct {
+			Present     bool                        `json:"present"`
+			Attribution *evtrace.QuantumAttribution `json:"attribution"`
+		}
+		if err := json.Unmarshal(body, &ar); err != nil {
+			return fail(fmt.Errorf("fleet: %s/debug/asm/attribution: %w", target, err))
+		}
+		if ar.Present {
+			node.Attribution = ar.Attribution
+		}
+	}
+
+	node.Healthy = true
+	return node
+}
+
+// get fetches one URL, returning the body and status. Transport errors
+// come back as errors; HTTP errors come back as the status for the
+// caller to classify.
+func (p *FleetPoller) get(ctx context.Context, url string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: %s: %w", url, err)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: %s: read body: %w", url, err)
+	}
+	return body, resp.StatusCode, nil
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"asmsim/internal/dash"
+	"asmsim/internal/evtrace"
+	"asmsim/internal/telemetry"
+)
+
+// fleetNode spins up one fake node: a dash server with its own registry
+// (mounted /metrics + /debug/asm/*), pre-loaded with latency samples
+// and, optionally, an attribution snapshot.
+func fleetNode(t *testing.T, seed int64, samples int, attr *evtrace.QuantumAttribution) (*httptest.Server, *telemetry.Histogram) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	h := reg.Scope("serve").Histogram("job_latency_ns")
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		h.Record(uint64(r.Intn(1 << 28)))
+	}
+	reg.Scope("serve").Gauge("queued").Set(seed)
+	srv := dash.NewServer()
+	srv.SetRegistry(reg)
+	if attr != nil {
+		srv.ObserveAttribution(*attr)
+	}
+	mux := http.NewServeMux()
+	srv.Mount(mux)
+	srv.MountMetrics(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
+	return ts, h
+}
+
+// TestFleetPollerMergesNodes: one sweep over two healthy nodes merges
+// their histograms into exact pooled quantiles, reads their queue
+// gauges, and block-embeds their attributions.
+func TestFleetPollerMergesNodes(t *testing.T) {
+	attr := &evtrace.QuantumAttribution{
+		Quantum: 1, Cycles: 1000,
+		Apps:         []string{"mcf"},
+		Mem:          [][]float64{{12.5, 3.25}},
+		Cache:        [][]float64{{2.5, 0}},
+		MemRowTotals: []float64{15.75},
+	}
+	tsA, hA := fleetNode(t, 3, 300, attr)
+	tsB, hB := fleetNode(t, 5, 200, nil)
+
+	reg := telemetry.NewRegistry()
+	p := NewFleetPoller(FleetPollerOptions{
+		Targets: []string{tsA.URL, tsB.URL},
+		Metrics: reg,
+	})
+	p.PollOnce(context.Background())
+
+	st := p.Fleet()
+	if st.Polls != 1 || len(st.Nodes) != 2 {
+		t.Fatalf("fleet state: polls %d, %d nodes", st.Polls, len(st.Nodes))
+	}
+	for i, n := range st.Nodes {
+		if !n.Healthy || n.Err != "" {
+			t.Fatalf("node %d unhealthy: %s", i, n.Err)
+		}
+	}
+	if st.Nodes[0].Queued != 3 || st.Nodes[1].Queued != 5 {
+		t.Errorf("queue gauges = %d, %d", st.Nodes[0].Queued, st.Nodes[1].Queued)
+	}
+
+	var pooled telemetry.HistogramSnapshot
+	pooled.Merge(hA.Snapshot())
+	pooled.Merge(hB.Snapshot())
+	got, ok := st.Hist["serve.job_latency_ns"]
+	if !ok {
+		t.Fatalf("merged latency missing; have %v", st.FleetHistNames())
+	}
+	if got.Nodes != 2 || got.Count != pooled.Count ||
+		got.P50Ns != pooled.Quantile(0.50) || got.P99Ns != pooled.Quantile(0.99) ||
+		got.P999Ns != pooled.Quantile(0.999) {
+		t.Fatalf("fleet quantiles diverge from pooled: %+v", got)
+	}
+
+	a := st.Attribution
+	if a == nil || len(a.Apps) != 1 || a.Apps[0] != "n0/mcf" {
+		t.Fatalf("cluster attribution = %+v", a)
+	}
+	if a.Mem[0][0] != 12.5 || a.Mem[0][1] != 3.25 || a.MemRowTotals[0] != 15.75 {
+		t.Fatalf("attribution values not verbatim: %+v", a.Mem)
+	}
+
+	// Poller health series.
+	snap := map[string]int64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	if snap["fleet.polls"] != 1 || snap["fleet.scrape_errors"] != 0 || snap["fleet.nodes_healthy"] != 2 {
+		t.Fatalf("poller metrics = %v", snap)
+	}
+}
+
+// TestFleetPollerBrokenNode: a node whose /metrics violates the
+// exposition format is reported broken (with the parse error), counted
+// in fleet.scrape_errors, and excluded from the healthy gauge — while
+// the good node still merges.
+func TestFleetPollerBrokenNode(t *testing.T) {
+	good, _ := fleetNode(t, 1, 50, nil)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A counter family without _total: strict parse must reject it.
+		w.Write([]byte("# TYPE broken counter\nbroken 1\n"))
+	}))
+	defer bad.Close()
+	gone := httptest.NewServer(http.HandlerFunc(nil))
+	gone.Close() // transport error: connection refused
+
+	reg := telemetry.NewRegistry()
+	p := NewFleetPoller(FleetPollerOptions{
+		Targets: []string{good.URL, bad.URL, gone.URL},
+		Metrics: reg,
+	})
+	p.PollOnce(context.Background())
+	st := p.Fleet()
+	if !st.Nodes[0].Healthy {
+		t.Fatalf("good node reported broken: %s", st.Nodes[0].Err)
+	}
+	if st.Nodes[1].Healthy || st.Nodes[1].Err == "" {
+		t.Fatalf("format-violating node reported healthy")
+	}
+	if st.Nodes[2].Healthy {
+		t.Fatal("unreachable node reported healthy")
+	}
+	if got := reg.Scope("fleet").Counter("scrape_errors").Value(); got != 2 {
+		t.Fatalf("scrape_errors = %d, want 2", got)
+	}
+	if got := reg.Scope("fleet").Gauge("nodes_healthy").Value(); got != 1 {
+		t.Fatalf("nodes_healthy = %d, want 1", got)
+	}
+	// The broken nodes contribute nothing to the merge.
+	if s := st.Hist["serve.job_latency_ns"]; s.Nodes != 1 || s.Count != 50 {
+		t.Fatalf("merged hist = %+v", s)
+	}
+}
+
+// TestFleetPollerBareMetricsNode: a node that only exposes /metrics
+// (no dashboard mounts, so /debug/asm/* is 404) still scrapes healthy —
+// it just contributes no histograms or attribution.
+func TestFleetPollerBareMetricsNode(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("x").Inc()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.PromHandler(reg, telemetry.DefaultPromRules()))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	p := NewFleetPoller(FleetPollerOptions{Targets: []string{ts.URL}})
+	p.PollOnce(context.Background())
+	st := p.Fleet()
+	if !st.Nodes[0].Healthy {
+		t.Fatalf("bare node unhealthy: %s", st.Nodes[0].Err)
+	}
+	if st.Nodes[0].Samples["x_total"] != 1 {
+		t.Fatalf("samples = %v", st.Nodes[0].Samples)
+	}
+	if len(st.Hist) != 0 || st.Attribution != nil {
+		t.Fatalf("bare node fabricated aggregates: %+v", st)
+	}
+}
+
+// TestFleetPollerStartStop: the background loop polls at its interval
+// and Stop joins it; Stop before Start and double Stop are safe.
+func TestFleetPollerStartStop(t *testing.T) {
+	ts, _ := fleetNode(t, 2, 10, nil)
+	p := NewFleetPoller(FleetPollerOptions{
+		Targets:  []string{ts.URL},
+		Interval: 5 * time.Millisecond,
+	})
+	p.Start()
+	p.Start() // idempotent
+	deadline := time.After(2 * time.Second)
+	for p.Fleet().Polls < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("poller stuck at %d sweeps", p.Fleet().Polls)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	n := p.Fleet().Polls
+	time.Sleep(20 * time.Millisecond)
+	if got := p.Fleet().Polls; got != n {
+		t.Fatalf("poller still running after Stop: %d -> %d", n, got)
+	}
+
+	// Stop before Start leaves a poller that never ran.
+	q := NewFleetPoller(FleetPollerOptions{Targets: []string{ts.URL}})
+	q.Stop()
+	if q.Fleet().Polls != 0 {
+		t.Fatal("stopped-before-start poller polled")
+	}
+}

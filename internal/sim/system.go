@@ -171,7 +171,6 @@ type System struct {
 	telRetryDepth  *telemetry.Gauge
 	telPendingWB   *telemetry.Gauge
 	telInFlightPf  *telemetry.Gauge
-	telQuantumWall *telemetry.Timer
 	telQuantumHist *telemetry.Histogram
 	quantumStart   time.Time
 	prevEpochs     uint64
@@ -332,12 +331,15 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	s.telRetryDepth = sc.Gauge("retry_queue_depth")
 	s.telPendingWB = sc.Gauge("pending_writebacks")
 	s.telInFlightPf = sc.Gauge("inflight_prefetches")
-	s.telQuantumWall = sc.Timer("quantum_wall")
+	// One histogram, not a timer+histogram pair: a timer named
+	// "quantum_wall" would export into the same Prometheus family as
+	// this histogram (timers gain a _ns suffix), and duplicate samples
+	// make the exposition unscrapeable under a strict parse.
 	s.telQuantumHist = sc.Histogram("quantum_wall_ns")
 	s.telSkipWindows = sc.Counter("skip.windows")
 	s.telSkipCycles = sc.Counter("skip.cycles")
 	s.telForcedWakes = sc.Counter("core.forced_wakes")
-	if s.telQuantumWall != nil {
+	if s.telQuantumHist != nil {
 		s.quantumStart = time.Now()
 	}
 }
@@ -1103,9 +1105,8 @@ func (s *System) endQuantum(now uint64) {
 	s.telRetryDepth.Set(int64(len(s.retryQ)))
 	s.telPendingWB.Set(int64(len(s.pendingWB)))
 	s.telInFlightPf.Set(int64(len(s.inFlightPf)))
-	if s.telQuantumWall != nil {
+	if s.telQuantumHist != nil {
 		now := time.Now()
-		s.telQuantumWall.Observe(now.Sub(s.quantumStart))
 		s.telQuantumHist.Observe(now.Sub(s.quantumStart))
 		s.quantumStart = now
 	}

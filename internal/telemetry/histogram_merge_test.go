@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var mergeQuantiles = []float64{0.50, 0.90, 0.99, 0.999}
+
+// TestHistogramMergeEqualsPooled is the fleet-poller correctness
+// property: merging K per-node snapshots must yield exactly the same
+// p50/p90/p99/p999 as recording all the pooled samples into one
+// histogram. This holds with equality, not approximately — Merge sums
+// the bucket counts, so the merged state is identical to the pooled
+// state and the deterministic rank-walk sees the same distribution.
+func TestHistogramMergeEqualsPooled(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(r *rand.Rand) uint64
+	}{
+		{"uniform", func(r *rand.Rand) uint64 { return uint64(r.Intn(1_000_000)) }},
+		{"latency-like lognormal", func(r *rand.Rand) uint64 {
+			v := 50_000.0 * math.Exp(r.NormFloat64()*1.5)
+			if v > 1e18 {
+				v = 1e18
+			}
+			return uint64(v)
+		}},
+		{"tiny values", func(r *rand.Rand) uint64 { return uint64(r.Intn(16)) }},
+		{"heavy tail", func(r *rand.Rand) uint64 {
+			if r.Intn(100) == 0 {
+				return uint64(r.Int63n(1 << 50))
+			}
+			return uint64(r.Intn(1000))
+		}},
+	}
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				r := rand.New(rand.NewSource(int64(trial)*7919 + 17))
+				k := 2 + r.Intn(7) // 2..8 nodes
+				nodes := make([]*Histogram, k)
+				pooled := &Histogram{}
+				for i := range nodes {
+					nodes[i] = &Histogram{}
+					n := r.Intn(500) // some nodes may record nothing
+					for j := 0; j < n; j++ {
+						v := dist.gen(r)
+						nodes[i].Record(v)
+						pooled.Record(v)
+					}
+				}
+				var merged HistogramSnapshot
+				for _, h := range nodes {
+					merged.Merge(h.Snapshot())
+				}
+				want := pooled.Snapshot()
+				if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+					t.Fatalf("trial %d: merged state (%d, %d, %d) != pooled (%d, %d, %d)",
+						trial, merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+				}
+				for _, q := range mergeQuantiles {
+					if got, w := merged.Quantile(q), want.Quantile(q); got != w {
+						t.Fatalf("trial %d (%s): p%g merged %d != pooled %d",
+							trial, dist.name, q*100, got, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramMergeAssociativity: merge order cannot matter, because
+// the fleet poller scrapes nodes in whatever order they answer.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	snaps := make([]HistogramSnapshot, 4)
+	for i := range snaps {
+		h := &Histogram{}
+		for j := 0; j < 200; j++ {
+			h.Record(uint64(r.Intn(1 << uint(10+i*8))))
+		}
+		snaps[i] = h.Snapshot()
+	}
+	var fwd HistogramSnapshot
+	for _, s := range snaps {
+		fwd.Merge(s)
+	}
+	var rev HistogramSnapshot
+	for i := len(snaps) - 1; i >= 0; i-- {
+		rev.Merge(snaps[i])
+	}
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Fatal("merge is order-sensitive")
+	}
+}
+
+// TestHistogramSnapshotJSONRoundTrip: the sparse wire form reproduces
+// the snapshot exactly, empty buckets stay off the wire, and
+// out-of-geometry indexes are rejected.
+func TestHistogramSnapshotJSONRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Record(uint64(r.Int63n(1 << 40)))
+	}
+	s := h.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse: the wire form must be a small fraction of 976 buckets.
+	if len(data) > 8192 {
+		t.Errorf("wire form is %d bytes — sparse encoding not effective", len(data))
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatal("snapshot did not survive the JSON round trip")
+	}
+	for _, q := range mergeQuantiles {
+		if back.Quantile(q) != s.Quantile(q) {
+			t.Fatalf("quantile p%g diverged after round trip", q*100)
+		}
+	}
+
+	var empty HistogramSnapshot
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"count":0,"sum":0,"max":0}` {
+		t.Errorf("empty snapshot wire form: %s", data)
+	}
+
+	if err := json.Unmarshal([]byte(`{"count":1,"buckets":{"99999":1}}`), &back); err == nil {
+		t.Error("out-of-geometry bucket index accepted")
+	}
+}
+
+// TestSnapshotHistograms: the registry hands back every histogram's
+// bucketed state by full dotted name, nil-safely.
+func TestSnapshotHistograms(t *testing.T) {
+	var nilReg *Registry
+	if got := nilReg.SnapshotHistograms(); got != nil {
+		t.Errorf("nil registry SnapshotHistograms = %v", got)
+	}
+	r := NewRegistry()
+	r.Scope("serve").Histogram("job_latency_ns").Record(1234)
+	r.Histogram("other").Record(5)
+	m := r.SnapshotHistograms()
+	if len(m) != 2 {
+		t.Fatalf("got %d histograms, want 2", len(m))
+	}
+	s, ok := m["serve.job_latency_ns"]
+	if !ok || s.Count != 1 || s.Sum != 1234 {
+		t.Errorf("serve.job_latency_ns snapshot = %+v (present %v)", s, ok)
+	}
+}

@@ -15,7 +15,14 @@ import (
 // ("serve_jobs_finished_total{state=\"done\"}"). PromRule declares that
 // rewrite: an exact name or a name prefix maps into a family with one
 // label. Anything no rule claims is exported under its sanitized flat
-// name — nothing in the registry is ever silently dropped.
+// name — nothing in the registry is ever silently dropped, with one
+// exception: when two registry entries collide into the same
+// family+label (a timer "x" and a histogram "x_ns" both export as
+// family "x_ns"), only one sample survives — the histogram (it carries
+// quantiles on top of the timer's sum/count/max), else the first seen.
+// Duplicate samples would make the whole exposition unscrapeable under
+// a strict parse (ParseExposition, and real Prometheus servers reject
+// them too), which is worse than dropping the poorer duplicate.
 //
 // Kind mapping: counters gain the conventional _total suffix, gauges
 // export as-is, timers become summaries (sum/count/max, all
@@ -117,6 +124,18 @@ func WritePrometheus(w *bytes.Buffer, snap []Metric, rules []PromRule) {
 		if f == nil {
 			f = &promFamily{name: name, typ: typ}
 			fams[name] = f
+		}
+		// Collision resolution: one sample per family+label. A
+		// histogram replaces a colliding timer (richer: quantile
+		// lines); anything else keeps the first sample seen.
+		for i, s := range f.samples {
+			if s.label != label {
+				continue
+			}
+			if m.Kind == "histogram" && s.m.Kind == "timer" {
+				f.samples[i] = promSample{label: label, m: m}
+			}
+			return
 		}
 		f.samples = append(f.samples, promSample{label: label, m: m})
 	}

@@ -4,75 +4,23 @@ import (
 	"bytes"
 	"io"
 	"net/http/httptest"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
 )
 
-// parseExposition is a strict text-format (0.0.4) checker shared with
-// no one: every non-comment line must be name{labels} value, every
-// sample's family must have a preceding # TYPE line, and TYPE lines
-// must not repeat. Returns sample name -> value.
+// parseExposition delegates to the production strict parser
+// (ParseExposition, which this helper was promoted into) and adapts the
+// result to the int64 view the assertions use.
 func parseExposition(t *testing.T, body string) map[string]int64 {
 	t.Helper()
-	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	lineRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+)$`)
-	types := map[string]string{}
-	samples := map[string]int64{}
-	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		if line == "" {
-			t.Fatal("blank line in exposition body")
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(line)
-			if len(parts) != 4 {
-				t.Fatalf("malformed TYPE line %q", line)
-			}
-			name, typ := parts[2], parts[3]
-			if !nameRe.MatchString(name) {
-				t.Fatalf("illegal family name %q", name)
-			}
-			switch typ {
-			case "counter", "gauge", "summary", "histogram", "untyped":
-			default:
-				t.Fatalf("illegal type %q in %q", typ, line)
-			}
-			if _, dup := types[name]; dup {
-				t.Fatalf("duplicate TYPE line for %s", name)
-			}
-			types[name] = typ
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		m := lineRe.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("malformed sample line %q", line)
-		}
-		base := m[1]
-		// Strip summary child suffixes to find the declaring family.
-		fam := base
-		for _, suf := range []string{"_sum", "_count"} {
-			if strings.HasSuffix(base, suf) {
-				if _, ok := types[strings.TrimSuffix(base, suf)]; ok {
-					fam = strings.TrimSuffix(base, suf)
-				}
-			}
-		}
-		if _, ok := types[fam]; !ok {
-			t.Fatalf("sample %q has no TYPE declaration", line)
-		}
-		v, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			t.Fatalf("unparseable value in %q: %v", line, err)
-		}
-		samples[m[1]+m[2]] = int64(v)
-		if types[fam] == "counter" && !strings.HasSuffix(fam, "_total") {
-			t.Fatalf("counter family %s lacks _total suffix", fam)
-		}
+	fsamples, err := ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]int64, len(fsamples))
+	for k, v := range fsamples {
+		samples[k] = int64(v)
 	}
 	return samples
 }
@@ -136,6 +84,42 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if strings.Count(body, "# TYPE serve_jobs_finished_total counter") != 1 {
 		t.Error("labeled family must declare TYPE exactly once")
+	}
+}
+
+// TestWritePrometheusFamilyCollision pins the collision rule: a timer
+// "x" and a histogram "x_ns" both export into family "x_ns" (timers
+// gain the _ns unit suffix), and the exposition must stay strictly
+// parseable — exactly one sample per series, the histogram's (it has
+// quantiles), regardless of which the snapshot lists first. This shape
+// shipped once (sim.quantum_wall + sim.quantum_wall_ns) and made every
+// asmserve node unscrapeable by the fleet poller.
+func TestWritePrometheusFamilyCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("sim").Timer("quantum_wall").Observe(time.Millisecond)
+	h := r.Scope("sim").Histogram("quantum_wall_ns")
+	h.Record(2_000_000)
+	h.Record(4_000_000)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Snapshot(), DefaultPromRules())
+	body := buf.String()
+	samples := parseExposition(t, body) // strict: fails on any duplicate sample
+
+	if got := samples[`sim_quantum_wall_ns_count`]; got != 2 {
+		t.Errorf("count = %d, want the histogram's 2\nbody:\n%s", got, body)
+	}
+	if got := samples[`sim_quantum_wall_ns_sum`]; got != 6_000_000 {
+		t.Errorf("sum = %d, want the histogram's 6000000", got)
+	}
+	if got := samples[`sim_quantum_wall_ns_max`]; got != 4_000_000 {
+		t.Errorf("max = %d, want the histogram's 4000000", got)
+	}
+	if _, ok := samples[`sim_quantum_wall_ns{quantile="0.5"}`]; !ok {
+		t.Errorf("histogram quantile lines missing — timer won the collision\nbody:\n%s", body)
+	}
+	if n := strings.Count(body, "sim_quantum_wall_ns_sum "); n != 1 {
+		t.Errorf("%d sim_quantum_wall_ns_sum samples, want exactly 1", n)
 	}
 }
 

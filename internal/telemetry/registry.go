@@ -305,6 +305,32 @@ func (r *Registry) Snapshot() []Metric {
 	return out
 }
 
+// SnapshotHistograms copies every histogram's full bucketed state,
+// keyed by registry name. Unlike Snapshot (which pre-computes quantiles
+// and drops the buckets), these snapshots are mergeable: the fleet
+// poller sums per-node snapshots into one distribution and takes exact
+// cluster-wide quantiles from the merged buckets. A nil registry
+// returns nil.
+func (r *Registry) SnapshotHistograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	d := r.data
+	d.mu.Lock()
+	hists := make(map[string]*Histogram, len(d.hists))
+	for name, h := range d.hists {
+		hists[name] = h
+	}
+	d.mu.Unlock()
+	// Bucket copies happen outside the registry lock: they are per-bucket
+	// atomic loads and need no map consistency.
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for name, h := range hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
 // WriteJSONL writes the snapshot as one JSON object per line.
 func (r *Registry) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
