@@ -44,6 +44,7 @@ import (
 	"asmsim/internal/partition"
 	"asmsim/internal/serve"
 	"asmsim/internal/sim"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 	"asmsim/internal/workload"
 )
@@ -128,6 +129,21 @@ type (
 	// FleetPollerOptions parameterizes a FleetPoller (targets, scrape
 	// interval, per-request timeout, health-metrics registry).
 	FleetPollerOptions = serve.FleetPollerOptions
+	// SLOSpec is a declarative set of service-level objectives over a
+	// run's slowdown bounds, estimator accuracy and service latency
+	// (load one from JSON with LoadSLOSpec).
+	SLOSpec = slo.Spec
+	// SLOEngine evaluates an SLOSpec with multi-window burn-rate
+	// alerting and an estimator-drift watchdog; it rides the quantum
+	// recorder fan-out read-only and never perturbs simulation results.
+	SLOEngine = slo.Engine
+	// SLOSinks wires an SLOEngine's alert outputs (metrics registry,
+	// structured log, flight recorder, event tracer, transition hook).
+	SLOSinks = slo.Sinks
+	// SLOAlertStatus is one objective's live alert state.
+	SLOAlertStatus = slo.AlertStatus
+	// SLOAlertEvent is one alert state transition.
+	SLOAlertEvent = slo.AlertEvent
 )
 
 // Machine health states for the graceful-degradation state machine.
@@ -245,6 +261,16 @@ func NewDashServer() *DashServer { return dash.NewServer() }
 // DashServer.SetFleetSource to light up /debug/asm/fleet.
 func NewFleetPoller(opts FleetPollerOptions) *FleetPoller { return serve.NewFleetPoller(opts) }
 
+// LoadSLOSpec reads and validates a JSON SLO spec file (see
+// internal/slo for the schema; EXPERIMENTS.md documents it).
+func LoadSLOSpec(path string) (SLOSpec, error) { return slo.Load(path) }
+
+// NewSLOEngine builds an alert engine for spec with the given sinks.
+// Wire it into RunOptions.SLO, ExperimentScale.SLO or the job service's
+// serve.Options.SLO; it observes quantum records without perturbing
+// them.
+func NewSLOEngine(spec SLOSpec, sinks SLOSinks) *SLOEngine { return slo.New(spec, sinks) }
+
 // QuickScale returns the minutes-scale experiment configuration.
 func QuickScale() ExperimentScale { return exp.Quick() }
 
@@ -293,6 +319,12 @@ type RunOptions struct {
 	// even when Trace is nil, and Telemetry.Metrics (when set) becomes
 	// the dashboard's registry. nil disables the dashboard at zero cost.
 	Dash *DashServer
+	// SLO, when non-nil, evaluates declarative SLOs over this run's
+	// quantum records: QoS-bound compliance and estimator drift tick on
+	// the simulated clock at quantum boundaries. The engine is purely
+	// observational — results are bit-identical with or without it. nil
+	// disables SLO evaluation at zero cost.
+	SLO *SLOEngine
 }
 
 // RunResult reports per-app outcomes of a Run.
@@ -379,6 +411,10 @@ func RunContext(ctx context.Context, cfg Config, names []string, opt RunOptions)
 	actualSum := make([]float64, n)
 	measured := 0
 	rec := opt.Dash.WrapRecorder(opt.Telemetry.Recorder)
+	if opt.SLO != nil {
+		opt.SLO.SetQuantumCycles(cfg.Quantum)
+		rec = telemetry.Fanout(rec, opt.SLO)
+	}
 	perEst := make(map[string][]float64, len(ests)) // reused across quanta
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		var actual []float64
@@ -516,6 +552,11 @@ func (c *Cluster) Unplaced() []string { return c.inner.Unplaced }
 // SetTelemetry attaches a metrics registry: audit-log event counters,
 // round counts, and serving/unplaced gauges under the "cluster" scope.
 func (c *Cluster) SetTelemetry(r *TelemetryRegistry) { c.inner.SetTelemetry(r) }
+
+// AttachSLO installs an SLO alert engine over the cluster's evaluation
+// rounds: QoS bounds are checked against every machine's fresh ASM
+// estimates on the round clock. Observational only; nil detaches.
+func (c *Cluster) AttachSLO(e *SLOEngine) { c.inner.AttachSLO(e) }
 
 // EnableTracing begins per-node trace capture: one Perfetto-loadable
 // trace file per machine (node<k>.trace.json under dir) recording that

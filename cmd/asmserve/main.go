@@ -44,6 +44,7 @@ import (
 	"asmsim/internal/dash"
 	"asmsim/internal/faults"
 	"asmsim/internal/serve"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -59,6 +60,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
 		faultSpec    = flag.String("faults", "", "inject deterministic service faults: comma-separated key=value (seed, handler-latency-prob, handler-latency, job-drop-prob, journal-fail-prob)")
 		logSpec      = flag.String("log", "", "structured job logs: off (default), text, or json; written to stderr with per-job trace_id")
+		sloPath      = flag.String("slo", "", "evaluate SLOs from this JSON spec file over every job's quantum records and the service latency histograms (see EXPERIMENTS.md); alerts surface on /debug/asm/alerts, /metrics and the flight recorder")
+		sloInterval  = flag.Duration("slo-interval", 0, "latency-SLO histogram polling interval (0 = default 5s)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -89,6 +92,19 @@ func main() {
 	reg := telemetry.NewRegistry()
 	dashSrv := dash.NewServer()
 	dashSrv.SetRegistry(reg)
+	var sloEng *slo.Engine
+	if *sloPath != "" {
+		spec, err := slo.Load(*sloPath)
+		if err != nil {
+			fatal(err)
+		}
+		sloEng = slo.New(spec, slo.Sinks{
+			Metrics:      reg,
+			Log:          logger,
+			OnTransition: dashSrv.PublishAlert,
+		})
+		dashSrv.SetAlertSource(sloEng)
+	}
 	srv, err := serve.New(serve.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -101,9 +117,17 @@ func main() {
 		Metrics:      reg,
 		Dash:         dashSrv,
 		Log:          logger,
+		SLO:          sloEng,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if sloEng != nil {
+		// The service's flight recorder exists only now; a firing alert
+		// dumps its ring (recent job lifecycle + quantum records).
+		sloEng.SetFlight(srv.Flight())
+		stopSLO := sloEng.StartLatencyLoop(reg, *sloInterval)
+		defer stopSLO()
 	}
 	prof, err := telemetry.StartProfiler(*cpuprofile, *memprofile, *addr, dashSrv.Mount, srv.Mount)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,6 +50,8 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		dashAddr    = flag.String("dash", "", "serve the live dashboard (and pprof) on this address (e.g. localhost:6060); visit /debug/asm/")
+		sloPath     = flag.String("slo", "", "evaluate SLOs from this JSON spec file (see EXPERIMENTS.md): burn-rate alerts over slowdown bounds and estimator drift, surfaced on the dashboard, /metrics, stderr logs and flight-recorder dumps")
+		sloFlight   = flag.String("slo-flight", "", "directory for flight-recorder dumps written when an alert fires (default: the -telemetry dir, else the working directory)")
 	)
 	flag.Parse()
 
@@ -174,6 +177,39 @@ func main() {
 		}
 	}
 
+	var sloEng *asmsim.SLOEngine
+	if *sloPath != "" {
+		spec, err := asmsim.LoadSLOSpec(*sloPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if telReg == nil {
+			telReg = asmsim.NewTelemetryRegistry()
+			tel.Metrics = telReg
+		}
+		// The flight recorder rides the quantum stream so a firing alert
+		// dumps the recent records that led up to it.
+		flight := telemetry.NewFlightRecorder(256)
+		dumpDir := *sloFlight
+		if dumpDir == "" {
+			dumpDir = *telDir
+		}
+		if dumpDir == "" {
+			dumpDir = "."
+		}
+		flight.SetDumpDir(dumpDir)
+		sloEng = asmsim.NewSLOEngine(spec, asmsim.SLOSinks{
+			Metrics:      telReg,
+			Log:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			Flight:       flight,
+			Trace:        tracer,
+			OnTransition: dashSrv.PublishAlert,
+		})
+		dashSrv.SetAlertSource(sloEng)
+		tel.Recorder = telemetry.Fanout(tel.Recorder, flight)
+	}
+
 	res, err := asmsim.RunContext(ctx, cfg, names, asmsim.RunOptions{
 		WarmupQuanta: *warmup,
 		Quanta:       *quanta,
@@ -183,6 +219,7 @@ func main() {
 		Trace:        tracer,
 		AloneTrace:   aloneTracer,
 		Dash:         dashSrv,
+		SLO:          sloEng,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -228,6 +265,13 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("\nmax slowdown %.2f, harmonic speedup %.3f\n", res.MaxSlowdown, res.HarmonicSpeedup)
+	if sloEng != nil {
+		fmt.Println()
+		for _, a := range sloEng.Alerts() {
+			fmt.Printf("slo %-20s %-9s %-8s bad=%d/%d burn=%.2f budget=%.0f%%\n",
+				a.Name, a.Signal, a.State, a.Bad, a.Ticks, a.BurnRate, 100*a.BudgetRemaining)
+		}
+	}
 	if exitCode != 0 {
 		os.Exit(exitCode)
 	}

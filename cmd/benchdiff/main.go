@@ -1,0 +1,155 @@
+// Command benchdiff compares two cmd/benchjson reports and fails when a
+// benchmark's ns/op regressed beyond tolerance — the perf-guard gate
+// behind `make bench-diff`:
+//
+//	benchdiff -tol 0.15 BENCH_sweep.json fresh_sweep.json
+//
+// The first file is the committed baseline, the second the freshly
+// measured run. Benchmarks are matched by name; entries present in only
+// one report are noted but never fail the comparison (renames and new
+// benchmarks should not break CI). Improvements are reported and always
+// pass. Output lists every matched benchmark with its delta; each
+// regression also prints a GitHub `::warning::` annotation so the CI
+// run surfaces it inline even when the step is marked soft-fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's entry shape.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document shape.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression before failing (0.15 = +15%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.15] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU {
+		fmt.Printf("note: baseline CPU %q != fresh CPU %q — wall-clock deltas are indicative only\n",
+			base.CPU, fresh.CPU)
+	}
+
+	baseBy := byName(base)
+	freshBy := byName(fresh)
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	matched := 0
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta")
+	for _, name := range names {
+		b := baseBy[name]
+		f, ok := freshBy[name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14s %8s\n", name, fmtNs(b.Metrics["ns/op"]), "absent", "-")
+			continue
+		}
+		bn, fn := b.Metrics["ns/op"], f.Metrics["ns/op"]
+		if bn <= 0 || fn <= 0 {
+			fmt.Printf("%-44s %14s %14s %8s\n", name, fmtNs(bn), fmtNs(fn), "n/a")
+			continue
+		}
+		matched++
+		delta := fn/bn - 1
+		mark := ""
+		if delta > *tol {
+			mark = "  REGRESSION"
+			regressions++
+			fmt.Printf("::warning title=benchmark regression::%s ns/op %+.1f%% (baseline %s, fresh %s, tolerance %.0f%%)\n",
+				name, delta*100, fmtNs(bn), fmtNs(fn), *tol*100)
+		}
+		fmt.Printf("%-44s %14s %14s %+7.1f%%%s\n", name, fmtNs(bn), fmtNs(fn), delta*100, mark)
+	}
+	for name := range freshBy {
+		if _, ok := baseBy[name]; !ok {
+			fmt.Printf("%-44s %14s %14s %8s\n", name, "absent", fmtNs(freshBy[name].Metrics["ns/op"]), "new")
+		}
+	}
+	if matched == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmarks in common between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d of %d benchmark(s) regressed beyond %.0f%%\n", regressions, matched, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d matched benchmark(s) within %.0f%% of baseline\n", matched, *tol*100)
+}
+
+func load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s holds no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// byName indexes a report, keeping the fastest entry when -count>1
+// produced duplicates (min is the standard robust pick for wall-clock
+// benchmarks).
+func byName(r *Report) map[string]Benchmark {
+	m := map[string]Benchmark{}
+	for _, b := range r.Benchmarks {
+		if prev, ok := m[b.Name]; ok && prev.Metrics["ns/op"] <= b.Metrics["ns/op"] {
+			continue
+		}
+		m[b.Name] = b
+	}
+	return m
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v <= 0:
+		return "?"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	}
+	return fmt.Sprintf("%.0fns", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,6 +37,7 @@ import (
 	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
 	"asmsim/internal/exp"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -60,6 +62,7 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		dashAddr    = flag.String("dash", "", "serve the live dashboard (and pprof) on this address; visit /debug/asm/ while the sweep runs")
+		sloPath     = flag.String("slo", "", "evaluate SLOs from this JSON spec file over every sweep's quantum records (see EXPERIMENTS.md); the final alert states print to stderr and non-inactive alerts fail the invocation")
 	)
 	flag.Parse()
 
@@ -156,6 +159,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	var sloEng *slo.Engine
+	if *sloPath != "" {
+		spec, err := slo.Load(*sloPath)
+		if err != nil {
+			fatal(err)
+		}
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		sloEng = slo.New(spec, slo.Sinks{
+			Metrics:      reg,
+			Log:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			OnTransition: dashSrv.PublishAlert,
+		})
+		dashSrv.SetAlertSource(sloEng)
+	}
 
 	var tables []*exp.Table
 	partial := 0
@@ -179,6 +198,7 @@ func main() {
 		}
 		scRun.Telemetry.Metrics = reg
 		scRun.Dash = dashSrv
+		scRun.SLO = sloEng
 		var tracer *evtrace.Tracer
 		if *traceDir != "" {
 			tracer, err = evtrace.Open(filepath.Join(*traceDir, e.ID+".trace.json"),
@@ -239,11 +259,21 @@ func main() {
 			obsFailed = true
 		}
 	}
+	sloFailed := false
+	if sloEng != nil {
+		for _, a := range sloEng.Alerts() {
+			fmt.Fprintf(os.Stderr, "slo %-20s %-9s %-8s bad=%d/%d burn=%.2f budget=%.0f%%\n",
+				a.Name, a.Signal, a.State, a.Bad, a.Ticks, a.BurnRate, 100*a.BudgetRemaining)
+			if a.State != slo.Inactive {
+				sloFailed = true
+			}
+		}
+	}
 	if partial > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d experiment(s) completed only partially\n", partial, len(exps))
 		os.Exit(1)
 	}
-	if obsFailed {
+	if obsFailed || sloFailed {
 		os.Exit(1)
 	}
 }

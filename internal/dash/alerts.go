@@ -1,0 +1,66 @@
+package dash
+
+import (
+	_ "embed"
+	"net/http"
+
+	"asmsim/internal/slo"
+)
+
+//go:embed static/alerts.html
+var alertsHTML []byte
+
+// AlertSource supplies the alert view; slo.Engine implements it. The
+// dashboard only renders what the source returns — evaluation stays on
+// the engine's clock.
+type AlertSource interface {
+	Alerts() []slo.AlertStatus
+}
+
+// SetAlertSource points /debug/asm/alerts at src (replace semantics,
+// like SetRegistry). Nil-safe.
+func (s *Server) SetAlertSource(src AlertSource) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.alertSrc = src
+	s.mu.Unlock()
+}
+
+// PublishAlert fans one alert transition out to SSE clients as an
+// `event: alert` frame on the quantum stream; wire it as the engine's
+// Sinks.OnTransition. Nil-safe and free with no subscribers.
+func (s *Server) PublishAlert(ev slo.AlertEvent) {
+	if s == nil {
+		return
+	}
+	s.bc.Publish("alert", ev)
+}
+
+// alertsResponse is the /debug/asm/alerts.json payload.
+type alertsResponse struct {
+	// Present is false until SetAlertSource installed an engine.
+	Present bool              `json:"present"`
+	Alerts  []slo.AlertStatus `json:"alerts"`
+}
+
+// handleAlertsJSON serves every SLO's current evaluation state.
+func (s *Server) handleAlertsJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	src := s.alertSrc
+	s.mu.Unlock()
+	resp := alertsResponse{Present: src != nil, Alerts: []slo.AlertStatus{}}
+	if src != nil {
+		if a := src.Alerts(); a != nil {
+			resp.Alerts = a
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleAlerts serves the embedded alerts page.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(alertsHTML)
+}

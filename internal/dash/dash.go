@@ -37,6 +37,7 @@ type Server struct {
 	prog     *telemetry.Progress
 	lastAttr *evtrace.QuantumAttribution
 	fleetSrc FleetSource
+	alertSrc AlertSource
 
 	deltaMu    sync.Mutex
 	deltas     map[string]map[string]telemetry.Metric
@@ -130,6 +131,8 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/asm/hist", s.handleHist)
 	mux.HandleFunc("/debug/asm/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/asm/fleet.json", s.handleFleetJSON)
+	mux.HandleFunc("/debug/asm/alerts", s.handleAlerts)
+	mux.HandleFunc("/debug/asm/alerts.json", s.handleAlertsJSON)
 }
 
 // MountMetrics registers the Prometheus text-exposition endpoint at

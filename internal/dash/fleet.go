@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"asmsim/internal/evtrace"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -42,6 +43,32 @@ type FleetNode struct {
 	// Attribution is the node's latest interference attribution matrix
 	// (from /debug/asm/attribution), when the node exposes one.
 	Attribution *evtrace.QuantumAttribution `json:"attribution,omitempty"`
+	// Endpoints is per-endpoint scrape health: a node degrades one
+	// endpoint at a time instead of dropping the whole scrape, so a
+	// momentarily missing endpoint leaves the others fresh and the stale
+	// one marked with its age in polls.
+	Endpoints map[string]EndpointHealth `json:"endpoints,omitempty"`
+	// Alerts is the node's SLO alert statuses (from
+	// /debug/asm/alerts.json), when the node evaluates any.
+	Alerts []slo.AlertStatus `json:"alerts,omitempty"`
+}
+
+// EndpointHealth is one scrape endpoint's state on one node.
+type EndpointHealth struct {
+	// OK reports whether the last poll scraped this endpoint cleanly.
+	OK bool `json:"ok"`
+	// Err carries the last failure when !OK.
+	Err string `json:"err,omitempty"`
+	// StalePolls counts consecutive failed polls: the endpoint's data
+	// shown elsewhere in the node is that many polls old (0 = fresh).
+	StalePolls uint64 `json:"stale_polls,omitempty"`
+}
+
+// FleetAlert is one node's alert in the fleet-wide rollup.
+type FleetAlert struct {
+	// Node is the reporting node's index.
+	Node int `json:"node"`
+	slo.AlertStatus
 }
 
 // FleetHistogram is one metric's fleet-wide distribution: per-node
@@ -77,6 +104,12 @@ type FleetState struct {
 	// blocks are zero by construction — nodes do not share a memory
 	// system, so cross-node interference cannot exist.
 	Attribution *evtrace.QuantumAttribution `json:"attribution,omitempty"`
+	// Alerts is the fleet-wide alert rollup: every node's non-inactive
+	// SLO alerts, node-tagged, in node order.
+	Alerts []FleetAlert `json:"alerts,omitempty"`
+	// AlertCounts tallies every node alert (including inactive) by
+	// state, so "is anything firing anywhere" is one map lookup.
+	AlertCounts map[string]int `json:"alert_counts,omitempty"`
 }
 
 // FleetSource supplies the fleet view; the poller in internal/serve
@@ -133,6 +166,17 @@ func AggregateFleet(polls uint64, nodes []FleetNode) FleetState {
 		}
 	}
 	st.Attribution = fleetAttribution(nodes)
+	for _, n := range nodes {
+		for _, a := range n.Alerts {
+			if st.AlertCounts == nil {
+				st.AlertCounts = map[string]int{}
+			}
+			st.AlertCounts[a.State.String()]++
+			if a.State != slo.Inactive {
+				st.Alerts = append(st.Alerts, FleetAlert{Node: n.Node, AlertStatus: a})
+			}
+		}
+	}
 	return st
 }
 

@@ -101,7 +101,7 @@ func RunAccuracy(ctx context.Context, cfg sim.Config, mix workload.Mix, newEst E
 		return nil, err
 	}
 	ests := newEst()
-	rec := sc.Dash.WrapRecorder(sc.Telemetry.Recorder)
+	rec := sc.wrapSLO(sc.Dash.WrapRecorder(sc.Telemetry.Recorder))
 	// The estimates map and samples slice are reused/pre-sized across
 	// quanta: only the small per-sample Est maps are allocated per
 	// quantum (they escape into the returned samples).
@@ -265,7 +265,7 @@ func RunPolicy(ctx context.Context, cfg sim.Config, mix workload.Mix, scheme Sch
 	n := len(specs)
 	invSum := make([]float64, n) // sum of 1/slowdown per quantum
 	count := 0
-	rec := sc.Dash.WrapRecorder(sc.Telemetry.Recorder)
+	rec := sc.wrapSLO(sc.Dash.WrapRecorder(sc.Telemetry.Recorder))
 	sys.AddQuantumListener(func(_ *sim.System, st *sim.QuantumStats) {
 		actual := tracker.ActualSlowdowns(st)
 		if rec != nil {

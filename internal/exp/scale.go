@@ -7,6 +7,7 @@ import (
 	"asmsim/internal/evtrace"
 	"asmsim/internal/faults"
 	"asmsim/internal/sim"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -59,6 +60,11 @@ type Scale struct {
 	// attribution snapshots feed the dashboard (even with Trace nil).
 	// nil disables the dashboard at zero cost.
 	Dash *dash.Server
+	// SLO, when non-nil, evaluates declarative SLOs over the sweep's
+	// quantum records (QoS-bound compliance, estimator drift). The
+	// engine rides the recorder fan-out read-only and never perturbs
+	// results. nil disables SLO evaluation at zero cost.
+	SLO *slo.Engine
 }
 
 // Quick returns the scaled-down configuration used by `go test -bench`
@@ -102,6 +108,17 @@ func (sc Scale) BaseConfig() sim.Config {
 
 // TotalQuanta returns warmup + measured quanta.
 func (sc Scale) TotalQuanta() int { return sc.WarmupQuanta + sc.MeasuredQuanta }
+
+// wrapSLO fans the SLO engine into a run's recorder chain (nil-safe on
+// both sides) and pins the engine's sim-cycle clock to this scale's
+// quantum so alert transitions carry deterministic cycle stamps.
+func (sc Scale) wrapSLO(rec telemetry.Recorder) telemetry.Recorder {
+	if sc.SLO == nil {
+		return rec
+	}
+	sc.SLO.SetQuantumCycles(sc.Quantum)
+	return telemetry.Fanout(rec, sc.SLO)
+}
 
 // scaleQuantumForCores grows the quantum with the core count (capped at
 // 2x) so every app still receives a usable number of priority epochs per

@@ -13,6 +13,7 @@ import (
 
 	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -32,8 +33,8 @@ type FleetPollerOptions struct {
 	// httptest server's).
 	Client *http.Client
 	// Metrics optionally receives the poller's own health series under
-	// the "fleet" scope: fleet.polls, fleet.scrape_errors,
-	// fleet.nodes_healthy.
+	// the "fleet" scope: fleet.polls, fleet.nodes_healthy, and one
+	// fleet.scrape_errors.<endpoint> counter per scraped endpoint.
 	Metrics *telemetry.Registry
 	// Log receives scrape failures; nil discards them.
 	Log *slog.Logger
@@ -46,12 +47,19 @@ type FleetPollerOptions struct {
 //	GET <target>/metrics                  strict text-exposition parse
 //	GET <target>/debug/asm/hist           mergeable histogram snapshots
 //	GET <target>/debug/asm/attribution    latest interference matrix
+//	GET <target>/debug/asm/alerts.json    SLO alert statuses
 //
 // The /metrics scrape uses telemetry.ParseExposition, so a node whose
 // exposition drifts from the 0.0.4 format is reported broken rather
-// than silently half-read. The two /debug endpoints are optional: a
-// node that does not mount the dashboard answers 404 and simply
-// contributes no histograms or attribution.
+// than silently half-read. The /debug endpoints are optional: a node
+// that does not mount the dashboard answers 404 and simply contributes
+// no histograms, attribution or alerts.
+//
+// Endpoints degrade independently: one failing endpoint keeps its
+// previous data (marked stale with its age in polls via
+// FleetNode.Endpoints) while the others stay fresh, so a node is never
+// erased from the fleet view by a single broken handler. Node health
+// tracks the /metrics endpoint alone.
 //
 // FleetPoller implements dash.FleetSource; install it with
 // Server.SetFleetSource. It runs entirely on its own goroutine and
@@ -65,7 +73,7 @@ type FleetPoller struct {
 
 	polls      atomic.Uint64
 	pollsCtr   *telemetry.Counter
-	scrapeErrs *telemetry.Counter
+	scrapeErrs map[string]*telemetry.Counter // per endpoint
 	healthyG   *telemetry.Gauge
 
 	mu    sync.Mutex
@@ -100,11 +108,14 @@ func NewFleetPoller(opts FleetPollerOptions) *FleetPoller {
 		client:     client,
 		log:        log,
 		pollsCtr:   reg.Counter("polls"),
-		scrapeErrs: reg.Counter("scrape_errors"),
+		scrapeErrs: map[string]*telemetry.Counter{},
 		healthyG:   reg.Gauge("nodes_healthy"),
 		nodes:      make([]dash.FleetNode, len(opts.Targets)),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	for _, ep := range fleetEndpoints {
+		p.scrapeErrs[ep] = reg.Counter("scrape_errors." + ep)
 	}
 	for i, target := range opts.Targets {
 		p.nodes[i] = dash.FleetNode{Node: i, URL: target, Err: "not scraped yet"}
@@ -124,14 +135,20 @@ func (p *FleetPoller) Fleet() dash.FleetState {
 
 // PollOnce runs one synchronous sweep: every target scraped
 // concurrently, results installed atomically as the new fleet view.
+// Each scrape sees the node's previous state so endpoints that fail
+// this sweep can retain their last data as stale.
 func (p *FleetPoller) PollOnce(ctx context.Context) {
+	p.mu.Lock()
+	prev := make([]dash.FleetNode, len(p.nodes))
+	copy(prev, p.nodes)
+	p.mu.Unlock()
 	fresh := make([]dash.FleetNode, len(p.opts.Targets))
 	var wg sync.WaitGroup
 	for i, target := range p.opts.Targets {
 		wg.Add(1)
 		go func(i int, target string) {
 			defer wg.Done()
-			fresh[i] = p.scrape(ctx, i, target)
+			fresh[i] = p.scrape(ctx, i, target, prev[i])
 		}(i, target)
 	}
 	wg.Wait()
@@ -179,72 +196,161 @@ func (p *FleetPoller) Stop() {
 	<-p.done
 }
 
-// scrape fetches one node's endpoints. A /metrics failure (transport,
-// status, or format) marks the node unhealthy; the optional /debug
-// endpoints degrade gracefully on 404 but any other failure is also a
-// scrape error — a node that mounts the endpoint and then breaks it
-// should be visible, not quietly stale.
-func (p *FleetPoller) scrape(ctx context.Context, i int, target string) dash.FleetNode {
-	node := dash.FleetNode{Node: i, URL: target}
-	fail := func(err error) dash.FleetNode {
-		node.Healthy = false
+// fleetEndpoints names the per-node scrape endpoints, in scrape order.
+var fleetEndpoints = []string{"metrics", "hist", "attribution", "alerts"}
+
+// errNotMounted distinguishes "node answers 404" (the endpoint is
+// optional and simply absent) from a real scrape failure.
+var errNotMounted = fmt.Errorf("not mounted")
+
+// scrape fetches one node's endpoints, each degrading independently: a
+// failing endpoint keeps the previous poll's data (marked stale, with
+// its age counted in polls) while the others refresh. A /metrics
+// failure (transport, status, or format) marks the node unhealthy; the
+// /debug endpoints are optional (404 means "not mounted") but any other
+// failure there is a visible scrape error — a node that mounts an
+// endpoint and then breaks it should be seen, not quietly stale.
+func (p *FleetPoller) scrape(ctx context.Context, i int, target string, prev dash.FleetNode) dash.FleetNode {
+	node := dash.FleetNode{Node: i, URL: target, Endpoints: map[string]dash.EndpointHealth{}}
+	// degrade records one endpoint's failure and its data's staleness;
+	// the caller retains the previous data alongside.
+	degrade := func(ep string, err error) {
+		stale := prev.Endpoints[ep].StalePolls + 1
+		node.Endpoints[ep] = dash.EndpointHealth{Err: err.Error(), StalePolls: stale}
+		p.scrapeErrs[ep].Inc()
+		p.log.Warn("fleet scrape degraded", "node", i, "target", target,
+			"endpoint", ep, "err", err, "stale_polls", stale)
+	}
+	fresh := func(ep string) { node.Endpoints[ep] = dash.EndpointHealth{OK: true} }
+
+	if samples, err := p.scrapeMetrics(ctx, target); err != nil {
+		degrade("metrics", err)
 		node.Err = err.Error()
-		p.scrapeErrs.Inc()
-		p.log.Warn("fleet scrape failed", "node", i, "target", target, "err", err)
-		return node
+		node.Samples = prev.Samples
+		node.Queued, node.Running = prev.Queued, prev.Running
+	} else {
+		fresh("metrics")
+		node.Healthy = true
+		node.Samples = samples
+		node.Queued = int64(samples["serve_queued"])
+		node.Running = int64(samples["serve_running"])
 	}
 
+	if hist, err := p.scrapeHist(ctx, target); err == errNotMounted {
+		fresh("hist") // node has no dashboard: nothing to merge, not an error
+	} else if err != nil {
+		degrade("hist", err)
+		node.Hist = prev.Hist
+	} else {
+		fresh("hist")
+		node.Hist = hist
+	}
+
+	if attr, err := p.scrapeAttribution(ctx, target); err == errNotMounted {
+		fresh("attribution")
+	} else if err != nil {
+		degrade("attribution", err)
+		node.Attribution = prev.Attribution
+	} else {
+		fresh("attribution")
+		node.Attribution = attr
+	}
+
+	if alerts, err := p.scrapeAlerts(ctx, target); err == errNotMounted {
+		fresh("alerts")
+	} else if err != nil {
+		degrade("alerts", err)
+		node.Alerts = prev.Alerts
+	} else {
+		fresh("alerts")
+		node.Alerts = alerts
+	}
+
+	return node
+}
+
+// scrapeMetrics fetches and strictly parses <target>/metrics.
+func (p *FleetPoller) scrapeMetrics(ctx context.Context, target string) (map[string]float64, error) {
 	body, status, err := p.get(ctx, target+"/metrics")
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	if status != http.StatusOK {
-		return fail(fmt.Errorf("fleet: %s/metrics: status %d", target, status))
+		return nil, fmt.Errorf("fleet: %s/metrics: status %d", target, status)
 	}
 	samples, err := telemetry.ParseExposition(string(body))
 	if err != nil {
-		return fail(fmt.Errorf("fleet: %s/metrics: %w", target, err))
+		return nil, fmt.Errorf("fleet: %s/metrics: %w", target, err)
 	}
-	node.Samples = samples
-	node.Queued = int64(samples["serve_queued"])
-	node.Running = int64(samples["serve_running"])
+	return samples, nil
+}
 
-	body, status, err = p.get(ctx, target+"/debug/asm/hist")
+// getOptional fetches one optional endpoint: errNotMounted on 404, the
+// body on 200, an error otherwise.
+func (p *FleetPoller) getOptional(ctx context.Context, url string) ([]byte, error) {
+	body, status, err := p.get(ctx, url)
 	switch {
 	case err != nil:
-		return fail(err)
+		return nil, err
 	case status == http.StatusNotFound:
-		// Node does not mount the dashboard: no histograms to merge.
+		return nil, errNotMounted
 	case status != http.StatusOK:
-		return fail(fmt.Errorf("fleet: %s/debug/asm/hist: status %d", target, status))
-	default:
-		if err := json.Unmarshal(body, &node.Hist); err != nil {
-			return fail(fmt.Errorf("fleet: %s/debug/asm/hist: %w", target, err))
-		}
+		return nil, fmt.Errorf("fleet: %s: status %d", url, status)
 	}
+	return body, nil
+}
 
-	body, status, err = p.get(ctx, target+"/debug/asm/attribution")
-	switch {
-	case err != nil:
-		return fail(err)
-	case status == http.StatusNotFound:
-	case status != http.StatusOK:
-		return fail(fmt.Errorf("fleet: %s/debug/asm/attribution: status %d", target, status))
-	default:
-		var ar struct {
-			Present     bool                        `json:"present"`
-			Attribution *evtrace.QuantumAttribution `json:"attribution"`
-		}
-		if err := json.Unmarshal(body, &ar); err != nil {
-			return fail(fmt.Errorf("fleet: %s/debug/asm/attribution: %w", target, err))
-		}
-		if ar.Present {
-			node.Attribution = ar.Attribution
-		}
+// scrapeHist fetches the node's mergeable histogram snapshots.
+func (p *FleetPoller) scrapeHist(ctx context.Context, target string) (map[string]telemetry.HistogramSnapshot, error) {
+	body, err := p.getOptional(ctx, target+"/debug/asm/hist")
+	if err != nil {
+		return nil, err
 	}
+	var hist map[string]telemetry.HistogramSnapshot
+	if err := json.Unmarshal(body, &hist); err != nil {
+		return nil, fmt.Errorf("fleet: %s/debug/asm/hist: %w", target, err)
+	}
+	return hist, nil
+}
 
-	node.Healthy = true
-	return node
+// scrapeAttribution fetches the node's latest attribution matrix (nil
+// when the node has not produced one yet).
+func (p *FleetPoller) scrapeAttribution(ctx context.Context, target string) (*evtrace.QuantumAttribution, error) {
+	body, err := p.getOptional(ctx, target+"/debug/asm/attribution")
+	if err != nil {
+		return nil, err
+	}
+	var ar struct {
+		Present     bool                        `json:"present"`
+		Attribution *evtrace.QuantumAttribution `json:"attribution"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, fmt.Errorf("fleet: %s/debug/asm/attribution: %w", target, err)
+	}
+	if !ar.Present {
+		return nil, nil
+	}
+	return ar.Attribution, nil
+}
+
+// scrapeAlerts fetches the node's SLO alert statuses (nil when the node
+// evaluates none).
+func (p *FleetPoller) scrapeAlerts(ctx context.Context, target string) ([]slo.AlertStatus, error) {
+	body, err := p.getOptional(ctx, target+"/debug/asm/alerts.json")
+	if err != nil {
+		return nil, err
+	}
+	var ar struct {
+		Present bool              `json:"present"`
+		Alerts  []slo.AlertStatus `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, fmt.Errorf("fleet: %s/debug/asm/alerts.json: %w", target, err)
+	}
+	if !ar.Present {
+		return nil, nil
+	}
+	return ar.Alerts, nil
 }
 
 // get fetches one URL, returning the body and status. Transport errors

@@ -5,11 +5,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"asmsim/internal/dash"
 	"asmsim/internal/evtrace"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -94,13 +96,27 @@ func TestFleetPollerMergesNodes(t *testing.T) {
 		t.Fatalf("attribution values not verbatim: %+v", a.Mem)
 	}
 
-	// Poller health series.
+	// Poller health series: polls and healthy-gauge set, every
+	// per-endpoint error counter still zero.
 	snap := map[string]int64{}
 	for _, m := range reg.Snapshot() {
 		snap[m.Name] = m.Value
 	}
-	if snap["fleet.polls"] != 1 || snap["fleet.scrape_errors"] != 0 || snap["fleet.nodes_healthy"] != 2 {
+	if snap["fleet.polls"] != 1 || snap["fleet.nodes_healthy"] != 2 {
 		t.Fatalf("poller metrics = %v", snap)
+	}
+	for _, ep := range []string{"metrics", "hist", "attribution", "alerts"} {
+		if snap["fleet.scrape_errors."+ep] != 0 {
+			t.Fatalf("clean sweep counted a %s scrape error: %v", ep, snap)
+		}
+	}
+	// Per-endpoint health is reported fresh on both nodes.
+	for i, n := range st.Nodes {
+		for _, ep := range []string{"metrics", "hist", "attribution", "alerts"} {
+			if h := n.Endpoints[ep]; !h.OK || h.StalePolls != 0 {
+				t.Fatalf("node %d endpoint %s not fresh: %+v", i, ep, h)
+			}
+		}
 	}
 }
 
@@ -134,8 +150,8 @@ func TestFleetPollerBrokenNode(t *testing.T) {
 	if st.Nodes[2].Healthy {
 		t.Fatal("unreachable node reported healthy")
 	}
-	if got := reg.Scope("fleet").Counter("scrape_errors").Value(); got != 2 {
-		t.Fatalf("scrape_errors = %d, want 2", got)
+	if got := reg.Scope("fleet").Counter("scrape_errors.metrics").Value(); got != 2 {
+		t.Fatalf("scrape_errors.metrics = %d, want 2", got)
 	}
 	if got := reg.Scope("fleet").Gauge("nodes_healthy").Value(); got != 1 {
 		t.Fatalf("nodes_healthy = %d, want 1", got)
@@ -202,5 +218,119 @@ func TestFleetPollerStartStop(t *testing.T) {
 	q.Stop()
 	if q.Fleet().Polls != 0 {
 		t.Fatal("stopped-before-start poller polled")
+	}
+}
+
+// TestFleetPollerPartialDegradation: a node whose /debug/asm/hist
+// handler breaks mid-flight keeps serving fresh /metrics. The node must
+// stay healthy, the hist endpoint must be marked degraded with its data
+// retained from the last good poll and aging stale-poll markers, and
+// only the hist error counter may move.
+func TestFleetPollerPartialDegradation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Scope("serve").Histogram("job_latency_ns")
+	for i := 0; i < 40; i++ {
+		h.Record(uint64(i) * 1000)
+	}
+	srv := dash.NewServer()
+	srv.SetRegistry(reg)
+	defer srv.Close()
+	inner := http.NewServeMux()
+	srv.Mount(inner)
+	srv.MountMetrics(inner)
+	var breakHist atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/debug/asm/hist" && breakHist.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	preg := telemetry.NewRegistry()
+	p := NewFleetPoller(FleetPollerOptions{Targets: []string{ts.URL}, Metrics: preg})
+	p.PollOnce(context.Background())
+	if st := p.Fleet(); st.Hist["serve.job_latency_ns"].Count != 40 {
+		t.Fatalf("baseline merge missing: %+v", st.Hist)
+	}
+
+	breakHist.Store(true)
+	p.PollOnce(context.Background())
+	p.PollOnce(context.Background())
+	st := p.Fleet()
+	n := st.Nodes[0]
+	if !n.Healthy || n.Err != "" {
+		t.Fatalf("hist failure took the whole node down: %+v", n)
+	}
+	if eh := n.Endpoints["hist"]; eh.OK || eh.StalePolls != 2 || eh.Err == "" {
+		t.Fatalf("hist endpoint health = %+v, want degraded with 2 stale polls", eh)
+	}
+	if eh := n.Endpoints["metrics"]; !eh.OK {
+		t.Fatalf("metrics endpoint degraded alongside hist: %+v", eh)
+	}
+	// Stale hist data survived both degraded polls.
+	if st.Hist["serve.job_latency_ns"].Count != 40 {
+		t.Fatalf("stale hist dropped from merge: %+v", st.Hist)
+	}
+	if got := preg.Scope("fleet").Counter("scrape_errors.hist").Value(); got != 2 {
+		t.Fatalf("scrape_errors.hist = %d, want 2", got)
+	}
+	if got := preg.Scope("fleet").Counter("scrape_errors.metrics").Value(); got != 0 {
+		t.Fatalf("scrape_errors.metrics = %d, want 0", got)
+	}
+
+	// Recovery: the endpoint refreshes and the stale marker clears.
+	breakHist.Store(false)
+	p.PollOnce(context.Background())
+	if eh := p.Fleet().Nodes[0].Endpoints["hist"]; !eh.OK || eh.StalePolls != 0 {
+		t.Fatalf("hist endpoint did not recover: %+v", eh)
+	}
+}
+
+// alertStub serves a fixed alert set the way dash's alerts.json does.
+type alertStub struct{ alerts []slo.AlertStatus }
+
+func (a alertStub) Alerts() []slo.AlertStatus { return a.alerts }
+
+// TestFleetPollerAlertRollup: node alert statuses scrape into the fleet
+// view, non-inactive ones surface node-tagged in FleetState.Alerts, and
+// AlertCounts tallies every state.
+func TestFleetPollerAlertRollup(t *testing.T) {
+	mkNode := func(alerts []slo.AlertStatus) *httptest.Server {
+		reg := telemetry.NewRegistry()
+		srv := dash.NewServer()
+		srv.SetRegistry(reg)
+		srv.SetAlertSource(alertStub{alerts})
+		t.Cleanup(func() { srv.Close() })
+		mux := http.NewServeMux()
+		srv.Mount(mux)
+		srv.MountMetrics(mux)
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	tsA := mkNode([]slo.AlertStatus{
+		{Name: "qos-bound", Signal: "qos", State: slo.Firing, BurnRate: 8},
+		{Name: "acc", Signal: "accuracy", State: slo.Inactive},
+	})
+	tsB := mkNode([]slo.AlertStatus{
+		{Name: "qos-bound", Signal: "qos", State: slo.Inactive},
+	})
+
+	p := NewFleetPoller(FleetPollerOptions{Targets: []string{tsA.URL, tsB.URL}})
+	p.PollOnce(context.Background())
+	st := p.Fleet()
+	if len(st.Alerts) != 1 || st.Alerts[0].Node != 0 || st.Alerts[0].Name != "qos-bound" ||
+		st.Alerts[0].State != slo.Firing {
+		t.Fatalf("fleet alert rollup = %+v", st.Alerts)
+	}
+	if st.AlertCounts["firing"] != 1 || st.AlertCounts["inactive"] != 2 {
+		t.Fatalf("alert counts = %+v", st.AlertCounts)
+	}
+	if got := len(st.Nodes[0].Alerts); got != 2 {
+		t.Fatalf("node 0 scraped %d alerts, want 2", got)
 	}
 }

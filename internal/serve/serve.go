@@ -18,6 +18,7 @@ import (
 	"asmsim/internal/exp"
 	"asmsim/internal/faults"
 	"asmsim/internal/rng"
+	"asmsim/internal/slo"
 	"asmsim/internal/telemetry"
 )
 
@@ -118,6 +119,12 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Dash optionally feeds a live dashboard from every job's run.
 	Dash *dash.Server
+	// SLO optionally evaluates every job's quantum stream against an
+	// SLO spec; the engine rides the per-job recorder fan-out, so
+	// evaluation is strictly observational (see the non-perturbation
+	// test at the repo root). Latency SLOs need their own loop over the
+	// Metrics registry — see slo.Engine.StartLatencyLoop.
+	SLO *slo.Engine
 	// Log receives structured job lifecycle events; every record about a
 	// job carries its trace_id. Nil discards everything.
 	Log *slog.Logger
@@ -585,6 +592,10 @@ func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
 // Events exposes the lifecycle/quantum broadcaster for SSE handlers.
 func (s *Server) Events() *dash.Broadcaster { return s.bc }
 
+// Flight exposes the service's flight recorder so alert sinks (the SLO
+// engine dumps the ring when an alert fires) can share it.
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
 func (s *Server) publish(st JobStatus) { s.bc.Publish("job", st) }
 
 func (s *Server) journalAppend(e Entry) error {
@@ -765,6 +776,7 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) (t *exp.Table
 		sc.Telemetry.Recorder = telemetry.Fanout(s.bc, s.flight)
 		sc.Telemetry.TraceID = tid
 		sc.Dash = s.opts.Dash
+		sc.SLO = s.opts.SLO
 	})
 }
 

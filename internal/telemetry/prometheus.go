@@ -42,7 +42,8 @@ type PromRule struct {
 
 // DefaultPromRules is the label mapping for this repo's metric
 // namespace: terminal job states, per-scheme and per-item experiment
-// timers, injected-fault sites, and cluster event kinds. Callers
+// timers, injected-fault sites, cluster event kinds, SLO alerting
+// series, and fleet per-endpoint scrape errors. Callers
 // mounting /metrics should pass these so every exporter in the process
 // agrees on series names.
 func DefaultPromRules() []PromRule {
@@ -54,6 +55,10 @@ func DefaultPromRules() []PromRule {
 		{Prefix: "exp.scheme.", Family: "exp_scheme", Label: "scheme"},
 		{Prefix: "exp.item.", Family: "exp_item", Label: "item"},
 		{Prefix: "cluster.events.", Family: "cluster_events", Label: "kind"},
+		{Prefix: "slo.budget_remaining.", Family: "slo_error_budget_remaining", Label: "slo"},
+		{Prefix: "slo.burn_rate.", Family: "slo_burn_rate", Label: "slo"},
+		{Prefix: "slo.alerts.", Family: "slo_alerts", Label: "state"},
+		{Prefix: "fleet.scrape_errors.", Family: "fleet_scrape_errors", Label: "endpoint"},
 	}
 }
 
